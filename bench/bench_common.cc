@@ -1,0 +1,73 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+namespace bench {
+
+double BenchScale() {
+  static const double kScale = [] {
+    const char* env = std::getenv("FLOWMOTIF_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || v <= 0.0) {
+      FLOWMOTIF_LOG(Warning) << "ignoring bad FLOWMOTIF_BENCH_SCALE=" << env;
+      return 1.0;
+    }
+    return v;
+  }();
+  return kScale;
+}
+
+const TimeSeriesGraph& BenchGraph(const DatasetPreset& preset) {
+  static std::map<std::string, TimeSeriesGraph>* const kCache =
+      new std::map<std::string, TimeSeriesGraph>();
+  auto it = kCache->find(preset.name);
+  if (it == kCache->end()) {
+    FLOWMOTIF_LOG(Info) << "generating dataset '" << preset.name
+                        << "' at scale " << BenchScale();
+    it = kCache->emplace(preset.name, GenerateDataset(preset, BenchScale()))
+             .first;
+  }
+  return it->second;
+}
+
+void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::ostringstream os;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0) {
+      os << std::left << std::setw(12) << cells[i] << std::right;
+    } else {
+      os << " | " << std::setw(10) << cells[i];
+    }
+  }
+  std::cout << os.str() << "\n";
+}
+
+std::string FormatCount(int64_t value) { return std::to_string(value); }
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << seconds << "s";
+  return os.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace flowmotif

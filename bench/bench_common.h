@@ -1,0 +1,38 @@
+#ifndef FLOWMOTIF_BENCH_BENCH_COMMON_H_
+#define FLOWMOTIF_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/motif.h"
+#include "gen/presets.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+namespace bench {
+
+/// Scale applied to every generated dataset; read from the
+/// FLOWMOTIF_BENCH_SCALE environment variable (default 1.0). Lower it to
+/// smoke-test the full bench suite quickly:
+///   FLOWMOTIF_BENCH_SCALE=0.1 ./build/bench/bench_fig9_delta
+double BenchScale();
+
+/// Generates (and memoizes per process) the dataset for a preset at
+/// BenchScale().
+const TimeSeriesGraph& BenchGraph(const DatasetPreset& preset);
+
+/// Prints a separator + title line for a table.
+void PrintHeader(const std::string& title);
+
+/// Prints one row of '|'-separated cells with fixed-width columns.
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats helpers.
+std::string FormatCount(int64_t value);
+std::string FormatSeconds(double seconds);
+std::string FormatDouble(double value, int precision);
+
+}  // namespace bench
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Reproduces Fig. 14: motif significance against randomized networks.
+// For each dataset and motif, 20 flow-permuted copies of the graph are
+// generated (structure and timestamps fixed, flow multiset shuffled);
+// the real instance count is compared against the randomized counts via
+// box-plot statistics, z-scores, and empirical p-values.
+//
+// Paper shape: real counts far exceed randomized ones (p = 0 for all
+// motifs); z-scores differ per motif and network, with cyclic motifs
+// over-represented on bitcoin/passenger and chains on facebook.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/motif_catalog.h"
+#include "core/significance.h"
+#include "util/timer.h"
+
+using namespace flowmotif;
+using namespace flowmotif::bench;
+
+int main() {
+  for (const DatasetPreset& preset : AllPresets()) {
+    const TimeSeriesGraph& graph = BenchGraph(preset);
+
+    SignificanceAnalyzer::Options options;
+    options.num_random_graphs = 20;  // as in the paper
+    options.seed = 424242;
+    options.delta = preset.default_delta;
+    options.phi = preset.default_phi;
+    SignificanceAnalyzer analyzer(graph, options);
+
+    PrintHeader("Fig. 14 (" + preset.name +
+                "): real vs 20 randomized graphs, delta=" +
+                std::to_string(options.delta) +
+                " phi=" + FormatDouble(options.phi, 1));
+    PrintRow({"motif", "real", "rnd-mean", "rnd-sd", "rnd-q1", "rnd-q3",
+              "z-score", "p-value"});
+
+    WallTimer timer;
+    for (const Motif& motif : MotifCatalog::All()) {
+      SignificanceAnalyzer::MotifReport report = analyzer.Analyze(motif);
+      PrintRow({report.motif_name, FormatCount(report.real_count),
+                FormatDouble(report.random_summary.mean, 1),
+                FormatDouble(report.random_summary.stddev, 1),
+                FormatDouble(report.random_summary.q1, 1),
+                FormatDouble(report.random_summary.q3, 1),
+                FormatDouble(report.z_score, 2),
+                FormatDouble(report.p_value, 3)});
+    }
+    std::cout << "(" << FormatSeconds(timer.ElapsedSeconds())
+              << " for 10 motifs x 20 randomizations)\n";
+  }
+  std::cout << "\nPaper shape: real >> randomized with p=0 everywhere — "
+               "flow travels along paths instead of being generated "
+               "independently per edge.\n";
+  return 0;
+}

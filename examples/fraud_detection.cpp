@@ -1,0 +1,117 @@
+// Fraud-detection scenario: the paper's introduction motivates flow
+// motifs with Financial Intelligence Units hunting suspicious transfer
+// patterns — cyclic transactions and chains of significant transfers
+// within a short window (Sec. 1).
+//
+// This example generates a bitcoin-like interaction network, then:
+//  1. counts cyclic-motif instances (money that returns to its origin);
+//  2. runs top-k search to surface the highest-flow cycles;
+//  3. groups activity per vertex set (structural match) to point at the
+//     "most active rings" an analyst would inspect first.
+//
+// Run: ./build/examples/fraud_detection [--scale=0.2] [--delta=600]
+//      [--k=5]
+#include <iostream>
+
+#include "core/match_activity.h"
+#include "core/motif_catalog.h"
+#include "core/topk.h"
+#include "gen/presets.h"
+#include "util/flags.h"
+
+using namespace flowmotif;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 0.2, "dataset scale relative to the preset");
+  flags.AddInt64("delta", 600, "max window length (seconds)");
+  flags.AddInt64("k", 5, "how many top rings to report");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::cerr << s << "\n" << flags.HelpString();
+    return 1;
+  }
+
+  const DatasetPreset& preset = GetPreset(DatasetKind::kBitcoin);
+  TimeSeriesGraph graph = GenerateDataset(preset, flags.GetDouble("scale"));
+  std::cout << "Transaction network: " << graph.DebugString() << "\n\n";
+
+  const Timestamp delta = flags.GetInt64("delta");
+  const int64_t k = flags.GetInt64("k");
+
+  // --- 1. How common are closed money cycles vs. plain chains? ---------
+  for (const char* name : {"M(3,2)", "M(3,3)", "M(4,4)A"}) {
+    Motif motif = *MotifCatalog::ByName(name);
+    EnumerationOptions options;
+    options.delta = delta;
+    options.phi = preset.default_phi;
+    EnumerationResult result =
+        FlowMotifEnumerator(graph, motif, options).Run();
+    std::cout << name << (motif.HasCycle() ? " (cycle)" : " (chain)")
+              << ": " << result.num_instances << " instances, "
+              << result.num_structural_matches << " matches\n";
+  }
+
+  // --- 2. Highest-flow cycles: candidate laundering loops. --------------
+  Motif cycle = *MotifCatalog::ByName("M(3,3)");
+  TopKSearcher searcher(graph, cycle, delta, k);
+  TopKSearcher::Result top = searcher.Run();
+  std::cout << "\nTop-" << k << " cyclic transfers (delta=" << delta
+            << "s):\n";
+  for (size_t i = 0; i < top.entries.size(); ++i) {
+    const auto& entry = top.entries[i];
+    std::cout << "  #" << i + 1 << " flow=" << entry.flow << " users(";
+    for (size_t j = 0; j < entry.instance.binding.size(); ++j) {
+      std::cout << (j ? "," : "") << entry.instance.binding[j];
+    }
+    std::cout << ") window=[" << entry.instance.StartTime() << ","
+              << entry.instance.EndTime() << "]\n";
+  }
+
+  // --- 3. Rings with the most repeated activity. -------------------------
+  EnumerationOptions options;
+  options.delta = delta;
+  options.phi = preset.default_phi;
+  MatchActivityAnalyzer activity(graph, cycle, options);
+  std::cout << "\nMost active rings (repeat offenders):\n";
+  for (const auto& ring : activity.TopMatches(k)) {
+    std::cout << "  users(";
+    for (size_t j = 0; j < ring.binding.size(); ++j) {
+      std::cout << (j ? "," : "") << ring.binding[j];
+    }
+    std::cout << ") instances=" << ring.instance_count
+              << " max_flow=" << ring.max_instance_flow
+              << " active=[" << ring.first_window_start << ","
+              << ring.last_window_start << "]\n";
+  }
+
+  // --- 4. Smurfing distribution: a general (non-path) fan-out motif. ------
+  // One account splits funds to two mules inside the window; phi makes
+  // sure each mule receives a significant aggregate even when the money
+  // arrives as many small payments (the FIU "smurfing" signature of the
+  // paper's introduction).
+  StatusOr<Motif> fan_out = Motif::Parse("0>1,0>2", "FanOut");
+  if (!fan_out.ok()) {
+    std::cerr << fan_out.status() << "\n";
+    return 1;
+  }
+  EnumerationOptions fan_options;
+  fan_options.delta = delta;
+  fan_options.phi = 4 * preset.default_phi;  // only significant aggregates
+  FlowMotifEnumerator fan_enumerator(graph, *fan_out, fan_options);
+  int64_t fan_shown = 0;
+  std::cout << "\nSmurfing fan-outs (phi=" << fan_options.phi << "):\n";
+  EnumerationResult fan_result =
+      fan_enumerator.Run([&fan_shown](const InstanceView& view) {
+        MotifInstance instance = view.Materialize();
+        std::cout << "  source " << instance.binding[0] << " -> mules ("
+                  << instance.binding[1] << "," << instance.binding[2]
+                  << ") payments=" << instance.edge_sets[0].size() << "+"
+                  << instance.edge_sets[1].size()
+                  << " min_aggregate=" << instance.InstanceFlow() << "\n";
+        return ++fan_shown < 5;  // show a handful
+      });
+  std::cout << "  (" << fan_result.num_instances
+            << " qualifying fan-outs found in total)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: builds the paper's running-example interaction network
+// (Fig. 2), searches it for the cyclic motif M(3,3) with delta = 10 and
+// phi = 7, and prints the instances — reproducing Fig. 4(a).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/enumerator.h"
+#include "core/motif_catalog.h"
+#include "graph/interaction_graph.h"
+#include "graph/time_series_graph.h"
+
+using namespace flowmotif;
+
+int main() {
+  // 1. Build the temporal multigraph of Fig. 2. Vertices are bitcoin
+  //    users u1..u4 (ids 0..3); each edge is (src, dst, time, amount).
+  InteractionGraph multigraph;
+  struct Row {
+    VertexId src, dst;
+    Timestamp t;
+    Flow f;
+  };
+  const Row rows[] = {
+      {0, 1, 13, 5},  {0, 1, 15, 7},             // u1 -> u2
+      {1, 2, 18, 20},                            // u2 -> u3
+      {2, 0, 10, 10},                            // u3 -> u1
+      {2, 3, 19, 5},  {2, 3, 21, 4},             // u3 -> u4
+      {3, 1, 23, 7},                             // u4 -> u2
+      {3, 0, 1, 2},   {3, 0, 3, 5},              // u4 -> u1
+      {3, 2, 11, 10},                            // u4 -> u3
+  };
+  for (const Row& row : rows) {
+    Status s = multigraph.AddEdge(row.src, row.dst, row.t, row.f);
+    if (!s.ok()) {
+      std::cerr << "AddEdge failed: " << s << "\n";
+      return 1;
+    }
+  }
+
+  // 2. Merge multi-edges into the time-series graph GT (Fig. 5).
+  TimeSeriesGraph graph = TimeSeriesGraph::Build(multigraph);
+  std::cout << "Graph: " << graph.DebugString() << "\n\n";
+
+  // 3. Pick the motif: M(3,3) is the 3-node cyclic flow 0->1->2->0.
+  StatusOr<Motif> motif = MotifCatalog::ByName("M(3,3)");
+  if (!motif.ok()) {
+    std::cerr << motif.status() << "\n";
+    return 1;
+  }
+
+  // 4. Enumerate maximal flow motif instances with delta=10, phi=7.
+  EnumerationOptions options;
+  options.delta = 10;
+  options.phi = 7.0;
+  FlowMotifEnumerator enumerator(graph, *motif, options);
+
+  std::cout << "Instances of " << motif->name() << " (delta=" << options.delta
+            << ", phi=" << options.phi << "):\n";
+  EnumerationResult result = enumerator.Run([](const InstanceView& view) {
+    MotifInstance instance = view.Materialize();
+    std::cout << "  vertices (";
+    for (size_t i = 0; i < instance.binding.size(); ++i) {
+      std::cout << (i ? "," : "") << "u" << instance.binding[i] + 1;
+    }
+    std::cout << ")  " << instance.ToString()
+              << "  flow=" << instance.InstanceFlow()
+              << "  span=" << instance.Span() << "\n";
+    return true;
+  });
+
+  std::cout << "\nSummary: " << result.num_instances << " instances from "
+            << result.num_structural_matches << " structural matches ("
+            << result.num_windows_processed << " windows)\n";
+  return 0;
+}

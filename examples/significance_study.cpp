@@ -1,0 +1,62 @@
+// Significance study: reproduces the Sec. 6.3 methodology on a generated
+// facebook-like network — permute the flow values across all edges,
+// re-count motif instances, and report z-scores and empirical p-values
+// per motif (the Fig. 14 analysis in miniature).
+//
+// Run: ./build/examples/significance_study [--scale=0.15] [--randomizations=10]
+#include <iomanip>
+#include <iostream>
+
+#include "core/motif_catalog.h"
+#include "core/significance.h"
+#include "gen/presets.h"
+#include "util/flags.h"
+
+using namespace flowmotif;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 0.15, "dataset scale relative to the preset");
+  flags.AddInt64("randomizations", 10, "number of flow-permuted graphs");
+  flags.AddInt64("seed", 1, "permutation seed");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::cerr << s << "\n" << flags.HelpString();
+    return 1;
+  }
+
+  const DatasetPreset& preset = GetPreset(DatasetKind::kFacebook);
+  TimeSeriesGraph graph = GenerateDataset(preset, flags.GetDouble("scale"));
+  std::cout << "Interaction network: " << graph.DebugString() << "\n\n";
+
+  SignificanceAnalyzer::Options options;
+  options.num_random_graphs =
+      static_cast<int>(flags.GetInt64("randomizations"));
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options.delta = preset.default_delta;
+  options.phi = preset.default_phi;
+  SignificanceAnalyzer analyzer(graph, options);
+
+  std::cout << "Motif significance vs " << options.num_random_graphs
+            << " flow-permuted graphs (delta=" << options.delta
+            << ", phi=" << options.phi << "):\n";
+  std::cout << std::left << std::setw(9) << "motif" << std::right
+            << std::setw(8) << "real" << std::setw(10) << "rnd-mean"
+            << std::setw(9) << "rnd-sd" << std::setw(9) << "z" << std::setw(8)
+            << "p" << "\n";
+
+  for (const Motif& motif : MotifCatalog::All()) {
+    SignificanceAnalyzer::MotifReport report = analyzer.Analyze(motif);
+    std::cout << std::left << std::setw(9) << report.motif_name << std::right
+              << std::setw(8) << report.real_count << std::setw(10)
+              << std::fixed << std::setprecision(1)
+              << report.random_summary.mean << std::setw(9)
+              << report.random_summary.stddev << std::setw(9)
+              << std::setprecision(2) << report.z_score << std::setw(8)
+              << report.p_value << "\n";
+  }
+  std::cout << "\nHigh z-scores with p=0 mean the real network contains far"
+               "\nmore high-flow motif instances than chance: flow is being"
+               "\ntransferred along paths, not generated independently.\n";
+  return 0;
+}

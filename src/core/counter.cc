@@ -1,0 +1,117 @@
+#include "core/counter.h"
+
+#include <unordered_map>
+
+#include "core/sliding_window.h"
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+
+/// Counting state for one window of one match.
+struct WindowCounter {
+  const std::vector<const EdgeSeries*>* series;
+  Window window;
+  Flow phi;
+  int num_edges;
+  // memo[level] maps the first usable element index of that level's
+  // series to the number of valid suffix instantiations.
+  std::vector<std::unordered_map<size_t, int64_t>> memo;
+  int64_t memo_hits = 0;
+
+  int64_t Count(int level, size_t first) {
+    const EdgeSeries& s = *(*series)[static_cast<size_t>(level)];
+    const size_t limit = s.UpperBound(window.end);
+    if (first >= limit) return 0;
+
+    if (level == num_edges - 1) {
+      // Last motif edge: one (maximal) set — everything to the window
+      // end — if it clears phi.
+      return s.FlowSum(first, limit - 1) >= phi ? 1 : 0;
+    }
+
+    auto& level_memo = memo[static_cast<size_t>(level)];
+    if (auto it = level_memo.find(first); it != level_memo.end()) {
+      ++memo_hits;
+      return it->second;
+    }
+
+    const EdgeSeries& next = *(*series)[static_cast<size_t>(level) + 1];
+    int64_t total = 0;
+    Flow prefix_flow = 0.0;
+    for (size_t j = first; j < limit; ++j) {
+      prefix_flow += s.flow(j);
+      const Timestamp t_j = s.time(j);
+      if (j + 1 < limit) {
+        // Prefix-domination: identical rule to the enumerator.
+        const Timestamp t_next = s.time(j + 1);
+        if (!next.HasElementInOpenClosed(t_j, t_next)) continue;
+      }
+      if (prefix_flow < phi) continue;  // Algorithm 1 line 16
+      total += Count(level + 1, next.UpperBound(t_j));
+    }
+    level_memo.emplace(first, total);
+    return total;
+  }
+};
+
+}  // namespace
+
+InstanceCounter::InstanceCounter(const TimeSeriesGraph& graph,
+                                 const Motif& motif, Timestamp delta,
+                                 Flow phi)
+    : graph_(graph), motif_(motif), delta_(delta), phi_(phi) {
+  FLOWMOTIF_CHECK_GE(delta, 0);
+  FLOWMOTIF_CHECK_GE(phi, 0.0);
+}
+
+int64_t InstanceCounter::CountMatch(const MatchBinding& binding,
+                                    Result* result) const {
+  const int m = motif_.num_edges();
+  std::vector<const EdgeSeries*> series(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const auto [src, dst] = motif_.edge(i);
+    const EdgeSeries* s = graph_.FindSeries(binding[static_cast<size_t>(src)],
+                                            binding[static_cast<size_t>(dst)]);
+    FLOWMOTIF_CHECK(s != nullptr)
+        << "binding is not a structural match of " << motif_.name();
+    series[static_cast<size_t>(i)] = s;
+  }
+
+  const std::vector<Window> windows =
+      ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+  if (result != nullptr) {
+    result->num_windows += static_cast<int64_t>(windows.size());
+  }
+
+  int64_t count = 0;
+  for (const Window& window : windows) {
+    WindowCounter counter;
+    counter.series = &series;
+    counter.window = window;
+    counter.phi = phi_;
+    counter.num_edges = m;
+    counter.memo.assign(static_cast<size_t>(m), {});
+    count += counter.Count(0, series[0]->LowerBound(window.start));
+    if (result != nullptr) result->memo_hits += counter.memo_hits;
+  }
+  return count;
+}
+
+InstanceCounter::Result InstanceCounter::RunOnMatches(
+    const std::vector<MatchBinding>& matches) const {
+  Result result;
+  for (const MatchBinding& binding : matches) {
+    ++result.num_structural_matches;
+    result.num_instances += CountMatch(binding, &result);
+  }
+  return result;
+}
+
+InstanceCounter::Result InstanceCounter::Run() const {
+  StructuralMatcher matcher(graph_, motif_);
+  return RunOnMatches(matcher.FindAllMatches());
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,211 @@
+#include "core/dp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace flowmotif {
+
+MaxFlowDpSearcher::MaxFlowDpSearcher(const TimeSeriesGraph& graph,
+                                     const Motif& motif, Timestamp delta)
+    : graph_(graph), motif_(motif), delta_(delta) {
+  FLOWMOTIF_CHECK_GE(delta, 0);
+}
+
+std::vector<const EdgeSeries*> MaxFlowDpSearcher::ResolveSeries(
+    const MatchBinding& binding) const {
+  std::vector<const EdgeSeries*> series(
+      static_cast<size_t>(motif_.num_edges()));
+  for (int i = 0; i < motif_.num_edges(); ++i) {
+    const auto [src, dst] = motif_.edge(i);
+    const EdgeSeries* s = graph_.FindSeries(binding[static_cast<size_t>(src)],
+                                            binding[static_cast<size_t>(dst)]);
+    FLOWMOTIF_CHECK(s != nullptr)
+        << "binding is not a structural match of " << motif_.name();
+    series[static_cast<size_t>(i)] = s;
+  }
+  return series;
+}
+
+Flow MaxFlowDpSearcher::DpOverWindow(
+    const std::vector<const EdgeSeries*>& series, const MatchBinding& binding,
+    const Window& window, Scratch* scratch, Result* result) const {
+  // Admissible window bound: no instance can beat the minimum over motif
+  // edges of the edge's total flow inside the window. Once a good
+  // incumbent exists, most windows are skipped without running the DP.
+  {
+    Flow bound = std::numeric_limits<Flow>::infinity();
+    for (const EdgeSeries* s : series) {
+      bound = std::min(bound, s->FlowInClosed(window.start, window.end));
+    }
+    if (bound <= result->max_flow) return 0.0;
+  }
+
+  // Union timeline t1..t_tau: every timestamp in the window carrying an
+  // interaction on any edge of this match.
+  std::vector<Timestamp>& timeline = scratch->timeline;
+  timeline.clear();
+  for (const EdgeSeries* s : series) {
+    const size_t first = s->LowerBound(window.start);
+    const size_t limit = s->UpperBound(window.end);
+    for (size_t i = first; i < limit; ++i) timeline.push_back(s->time(i));
+  }
+  std::sort(timeline.begin(), timeline.end());
+  timeline.erase(std::unique(timeline.begin(), timeline.end()),
+                 timeline.end());
+  const size_t tau = timeline.size();
+  if (tau == 0) return 0.0;
+
+  const int m = motif_.num_edges();
+
+  // Flow([t1, t_i], k) as rows over i; `choice[k][i]` records the argmax
+  // split j of Eq. 2 for the traceback (0 means "none/invalid"). A flow
+  // of 0 marks an invalid state: all real flows are positive.
+  auto& flow_table = scratch->flow_table;
+  auto& choice = scratch->choice;
+  flow_table.resize(static_cast<size_t>(m));
+  choice.resize(static_cast<size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    flow_table[static_cast<size_t>(k)].assign(tau, 0.0);
+    choice[static_cast<size_t>(k)].assign(tau, 0);
+  }
+
+  for (size_t i = 0; i < tau; ++i) {
+    flow_table[0][i] = series[0]->FlowInClosed(timeline[0], timeline[i]);
+  }
+  for (int k = 1; k < m; ++k) {
+    const EdgeSeries& sk = *series[static_cast<size_t>(k)];
+    const auto& prev_row = flow_table[static_cast<size_t>(k) - 1];
+    auto& row = flow_table[static_cast<size_t>(k)];
+    auto& row_choice = choice[static_cast<size_t>(k)];
+    for (size_t i = 1; i < tau; ++i) {
+      // Eq. 2 is max_j min(L(j), R(j)) where L(j) = Flow([t1,t_{j-1}],k-1)
+      // is non-decreasing in j (larger window, more options) and
+      // R(j) = flow([tj,ti],k) is non-increasing (smaller interval). The
+      // maximum therefore sits at the crossing, found by binary search —
+      // O(log tau) per cell instead of the naive O(tau) scan.
+      size_t lo = 1;
+      size_t hi = i;
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (prev_row[mid - 1] >=
+            sk.FlowInClosed(timeline[mid], timeline[i])) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      Flow best = 0.0;
+      size_t best_j = 0;
+      for (size_t j : {lo, lo - 1}) {
+        if (j < 1 || j > i) continue;
+        const Flow value =
+            std::min(prev_row[j - 1],
+                     sk.FlowInClosed(timeline[j], timeline[i]));
+        if (value > best) {
+          best = value;
+          best_j = j;
+        }
+      }
+      row[i] = best;
+      row_choice[i] = best_j;
+    }
+  }
+
+  const Flow window_best = flow_table[static_cast<size_t>(m) - 1][tau - 1];
+  if (window_best <= 0.0 || window_best <= result->max_flow) {
+    return window_best;
+  }
+
+  // New global best: reconstruct the argmax instance by walking the
+  // recorded splits backwards (Table 2's bold cells).
+  MotifInstance instance;
+  instance.binding = binding;
+  instance.edge_sets.assign(static_cast<size_t>(m), {});
+  size_t i = tau - 1;
+  for (int k = m - 1; k >= 1; --k) {
+    const size_t j = choice[static_cast<size_t>(k)][i];
+    FLOWMOTIF_CHECK_GT(j, 0u);
+    const EdgeSeries& sk = *series[static_cast<size_t>(k)];
+    auto& set = instance.edge_sets[static_cast<size_t>(k)];
+    const size_t first = sk.LowerBound(timeline[j]);
+    const size_t limit = sk.UpperBound(timeline[i]);
+    for (size_t idx = first; idx < limit; ++idx) set.push_back(sk.at(idx));
+    i = j - 1;
+  }
+  {
+    const EdgeSeries& s0 = *series[0];
+    auto& set = instance.edge_sets[0];
+    const size_t first = s0.LowerBound(timeline[0]);
+    const size_t limit = s0.UpperBound(timeline[i]);
+    for (size_t idx = first; idx < limit; ++idx) set.push_back(s0.at(idx));
+  }
+
+  result->found = true;
+  result->max_flow = window_best;
+  result->best = std::move(instance);
+  result->binding = binding;
+  result->window = window;
+  return window_best;
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatch(
+    const MatchBinding& binding) const {
+  Result result;
+  WallTimer timer;
+  const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
+  const std::vector<Window> windows =
+      ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+  result.num_windows = static_cast<int64_t>(windows.size());
+  Scratch scratch;
+  for (const Window& window : windows) {
+    DpOverWindow(series, binding, window, &scratch, &result);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
+    const std::vector<MatchBinding>& matches) const {
+  Result result;
+  WallTimer timer;
+  Scratch scratch;
+  for (const MatchBinding& binding : matches) {
+    const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
+    const std::vector<Window> windows =
+        ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+    result.num_windows += static_cast<int64_t>(windows.size());
+    for (const Window& window : windows) {
+      DpOverWindow(series, binding, window, &scratch, &result);
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::Run() const {
+  StructuralMatcher matcher(graph_, motif_);
+  return RunOnMatches(matcher.FindAllMatches());
+}
+
+std::vector<MaxFlowDpSearcher::WindowBest> MaxFlowDpSearcher::RunPerWindow(
+    const MatchBinding& binding) const {
+  const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
+  const std::vector<Window> windows =
+      ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+  std::vector<WindowBest> bests;
+  bests.reserve(windows.size());
+  Scratch scratch;
+  for (const Window& window : windows) {
+    // A throwaway result isolates each window's optimum.
+    Result window_result;
+    const Flow flow =
+        DpOverWindow(series, binding, window, &scratch, &window_result);
+    bests.push_back(WindowBest{window, flow > 0.0, flow});
+  }
+  return bests;
+}
+
+}  // namespace flowmotif

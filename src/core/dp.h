@@ -1,0 +1,91 @@
+#ifndef FLOWMOTIF_CORE_DP_H_
+#define FLOWMOTIF_CORE_DP_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/motif.h"
+#include "core/sliding_window.h"
+#include "core/structural_match.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+
+/// Dynamic-programming module for top-1 flow motif search (Sec. 5.1,
+/// Algorithm 2). For a structural match and a window T with interaction
+/// timestamps t1..t_tau, it computes
+///
+///   Flow([t1,ti],k) = max_{1<j<=i} min(Flow([t1,t_{j-1}],k-1),
+///                                      flow([tj,ti],k))          (Eq. 2)
+///
+/// where flow([tj,ti],k) is the aggregated flow of the k-th edge's
+/// elements inside [tj,ti] — an O(1) prefix-sum lookup here. The final
+/// Flow([t1,t_tau],m) is the best instance flow in the window; maximizing
+/// over windows and matches yields the global top-1. A traceback
+/// reconstructs the argmax instance (the bold cells of Table 2).
+class MaxFlowDpSearcher {
+ public:
+  struct Result {
+    bool found = false;
+    Flow max_flow = 0.0;
+    MotifInstance best;       // populated when found
+    MatchBinding binding;     // match that produced the best instance
+    Window window{0, 0};      // window that produced it
+    int64_t num_windows = 0;  // windows processed
+    double seconds = 0.0;     // phase-P2 time
+  };
+
+  /// Best instance flow per window position of one match — the paper's
+  /// "top-1 instance for each position of the sliding window"
+  /// extensibility mode.
+  struct WindowBest {
+    Window window{0, 0};
+    bool found = false;
+    Flow max_flow = 0.0;
+  };
+
+  MaxFlowDpSearcher(const TimeSeriesGraph& graph, const Motif& motif,
+                    Timestamp delta);
+  // The searcher keeps a reference to the graph: temporaries would dangle.
+  MaxFlowDpSearcher(TimeSeriesGraph&&, const Motif&, Timestamp) = delete;
+
+  /// Global top-1 over the whole graph (phase P1 + DP per match).
+  Result Run() const;
+
+  /// DP over precomputed matches only (isolates phase P2, Fig. 12).
+  Result RunOnMatches(const std::vector<MatchBinding>& matches) const;
+
+  /// Top-1 within a single structural match.
+  Result RunOnMatch(const MatchBinding& binding) const;
+
+  /// Top-1 per window position within a single structural match.
+  std::vector<WindowBest> RunPerWindow(const MatchBinding& binding) const;
+
+ private:
+  /// Reusable per-run buffers: the DP runs once per window and would
+  /// otherwise spend most of its time reallocating the timeline and the
+  /// table rows.
+  struct Scratch {
+    std::vector<Timestamp> timeline;
+    std::vector<std::vector<Flow>> flow_table;
+    std::vector<std::vector<size_t>> choice;
+  };
+
+  /// Runs the DP for one window of one match; updates `result` if a
+  /// better instance is found. Returns the window's best flow (0 if no
+  /// valid instance).
+  Flow DpOverWindow(const std::vector<const EdgeSeries*>& series,
+                    const MatchBinding& binding, const Window& window,
+                    Scratch* scratch, Result* result) const;
+
+  std::vector<const EdgeSeries*> ResolveSeries(
+      const MatchBinding& binding) const;
+
+  const TimeSeriesGraph& graph_;
+  const Motif motif_;
+  Timestamp delta_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_DP_H_

@@ -1,0 +1,241 @@
+#include "core/enumerator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace flowmotif {
+
+MotifInstance InstanceView::Materialize() const {
+  MotifInstance instance;
+  instance.binding = *binding;
+  instance.edge_sets.resize(slices->size());
+  for (size_t i = 0; i < slices->size(); ++i) {
+    const EdgeSlice& slice = (*slices)[i];
+    auto& set = instance.edge_sets[i];
+    set.reserve(slice.size());
+    for (size_t j = slice.begin; j < slice.end; ++j) {
+      set.push_back(slice.series->at(j));
+    }
+  }
+  return instance;
+}
+
+/// Per-run mutable state threaded through the recursion.
+struct FlowMotifEnumerator::Context {
+  std::vector<const EdgeSeries*> series;  // per motif edge, this match
+  std::vector<EdgeSlice> slices;          // current partial assignment
+  Window window{0, 0};
+  Flow min_flow_so_far = 0.0;  // min prefix flow over slices chosen so far
+  const MatchBinding* binding = nullptr;
+  const InstanceVisitor* visitor = nullptr;
+  EnumerationResult* result = nullptr;
+  bool stop = false;
+  bool window_is_redundant = false;  // ablation_no_window_skip bookkeeping
+};
+
+FlowMotifEnumerator::FlowMotifEnumerator(const TimeSeriesGraph& graph,
+                                         const Motif& motif,
+                                         const EnumerationOptions& options)
+    : graph_(graph), motif_(motif), options_(options) {
+  FLOWMOTIF_CHECK_GE(options.delta, 0) << "delta must be non-negative";
+  FLOWMOTIF_CHECK_GE(options.phi, 0.0) << "phi must be non-negative";
+}
+
+bool FlowMotifEnumerator::PassesFlowBound(Flow flow) const {
+  if (flow < options_.phi) return false;
+  if (options_.dynamic_min_flow_exclusive &&
+      !(flow > options_.dynamic_min_flow_exclusive())) {
+    return false;
+  }
+  return true;
+}
+
+void FlowMotifEnumerator::Emit(Context* ctx, Flow instance_flow) const {
+  if (options_.ablation_no_prefix_phi_pruning &&
+      !PassesFlowBound(instance_flow)) {
+    // Deferred flow constraint: with prefix pruning ablated, phi is only
+    // enforced here on complete instances.
+    ++ctx->result->num_phi_prunes;
+    return;
+  }
+  InstanceView view;
+  view.motif = &motif_;
+  view.binding = ctx->binding;
+  view.slices = &ctx->slices;
+  view.window = ctx->window;
+  view.flow = instance_flow;
+
+  if (options_.strict_maximality) {
+    MotifInstance materialized = view.Materialize();
+    if (!IsMaximalInstance(graph_, motif_, materialized, options_.delta)) {
+      ++ctx->result->num_strict_rejects;
+      return;
+    }
+  }
+  ++ctx->result->num_instances;
+  if (ctx->window_is_redundant) ++ctx->result->num_redundant_instances;
+  if (ctx->visitor != nullptr && *ctx->visitor) {
+    if (!(*ctx->visitor)(view)) ctx->stop = true;
+  }
+}
+
+void FlowMotifEnumerator::Recurse(Context* ctx, int level,
+                                  Timestamp lo) const {
+  const EdgeSeries& series = *ctx->series[static_cast<size_t>(level)];
+  // Edge-set candidates for this level: the run of elements strictly
+  // after the previous level's split (or from the window anchor for e1),
+  // capped by the window end.
+  const size_t first = level == 0 ? series.LowerBound(ctx->window.start)
+                                  : series.UpperBound(lo);
+  const size_t limit = series.UpperBound(ctx->window.end);
+  if (first >= limit) return;
+
+  const int m = motif_.num_edges();
+  if (level == m - 1) {
+    // Last motif edge: Algorithm 1's base case takes every element in the
+    // remaining window, which makes the set maximal towards the window
+    // end.
+    const Flow flow = series.FlowSum(first, limit - 1);
+    if (!options_.ablation_no_prefix_phi_pruning && !PassesFlowBound(flow)) {
+      ++ctx->result->num_phi_prunes;
+      return;
+    }
+    ctx->slices[static_cast<size_t>(level)] = EdgeSlice{&series, first, limit};
+    Emit(ctx, std::min(ctx->min_flow_so_far, flow));
+    return;
+  }
+
+  const EdgeSeries& next_series = *ctx->series[static_cast<size_t>(level) + 1];
+  Flow prefix_flow = 0.0;
+  for (size_t j = first; j < limit && !ctx->stop; ++j) {
+    prefix_flow += series.flow(j);
+    const Timestamp t_j = series.time(j);
+    if (j + 1 < limit) {
+      // Prefix-domination rule: stopping the edge-set at t_j only yields
+      // maximal instances if the next motif edge has an element before
+      // (or at) the next element of this edge — otherwise the longer
+      // prefix produces a superset instance with identical downstream
+      // choices (the paper's "no instance contains just the first two
+      // elements of e1" example).
+      const Timestamp t_next = series.time(j + 1);
+      if (!next_series.HasElementInOpenClosed(t_j, t_next)) {
+        ++ctx->result->num_domination_skips;
+        continue;
+      }
+    }
+    if (!options_.ablation_no_prefix_phi_pruning &&
+        !PassesFlowBound(prefix_flow)) {
+      // Algorithm 1 line 16: prefixes failing phi cannot start a valid
+      // instance; prune the whole subtree under this prefix.
+      ++ctx->result->num_phi_prunes;
+      continue;
+    }
+    ctx->slices[static_cast<size_t>(level)] = EdgeSlice{&series, first, j + 1};
+    const Flow saved_min = ctx->min_flow_so_far;
+    ctx->min_flow_so_far = std::min(saved_min, prefix_flow);
+    Recurse(ctx, level + 1, t_j);
+    ctx->min_flow_so_far = saved_min;
+  }
+}
+
+bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
+                                         const InstanceVisitor& visitor,
+                                         EnumerationResult* result) const {
+  const int m = motif_.num_edges();
+  Context ctx;
+  ctx.series.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const auto [src, dst] = motif_.edge(i);
+    const EdgeSeries* series =
+        graph_.FindSeries(binding[static_cast<size_t>(src)],
+                          binding[static_cast<size_t>(dst)]);
+    FLOWMOTIF_CHECK(series != nullptr)
+        << "binding is not a structural match of " << motif_.name();
+    ctx.series[static_cast<size_t>(i)] = series;
+  }
+  ctx.slices.resize(static_cast<size_t>(m));
+  ctx.binding = &binding;
+  ctx.visitor = &visitor;
+  ctx.result = result;
+
+  std::vector<Window> windows = ComputeProcessedWindows(
+      *ctx.series.front(), *ctx.series.back(), options_.delta);
+  if (options_.ablation_no_window_skip) {
+    // Ablation: run every anchor position; remember which ones the skip
+    // rule would have processed so redundant emissions can be counted.
+    std::vector<Window> kept = std::move(windows);
+    windows = ComputeAllWindows(*ctx.series.front(), options_.delta);
+    size_t kept_cursor = 0;
+    result->num_windows_processed += static_cast<int64_t>(windows.size());
+    for (const Window& window : windows) {
+      if (ctx.stop) break;
+      while (kept_cursor < kept.size() &&
+             kept[kept_cursor].start < window.start) {
+        ++kept_cursor;
+      }
+      ctx.window_is_redundant =
+          kept_cursor >= kept.size() || !(kept[kept_cursor] == window);
+      ctx.window = window;
+      ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();
+      Recurse(&ctx, 0, window.start);
+    }
+    return !ctx.stop;
+  }
+
+  result->num_windows_processed += static_cast<int64_t>(windows.size());
+  for (const Window& window : windows) {
+    if (ctx.stop) break;
+    ctx.window = window;
+    ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();
+    Recurse(&ctx, 0, window.start);
+  }
+  return !ctx.stop;
+}
+
+EnumerationResult FlowMotifEnumerator::Run(
+    const InstanceVisitor& visitor) const {
+  EnumerationResult result;
+  WallTimer total_timer;
+  double phase2_seconds = 0.0;
+
+  StructuralMatcher matcher(graph_, motif_);
+  matcher.FindAll([&](const MatchBinding& binding) {
+    ++result.num_structural_matches;
+    WallTimer p2_timer;
+    const bool keep_going = EnumerateMatch(binding, visitor, &result);
+    phase2_seconds += p2_timer.ElapsedSeconds();
+    return keep_going;
+  });
+
+  result.phase2_seconds = phase2_seconds;
+  result.phase1_seconds =
+      std::max(0.0, total_timer.ElapsedSeconds() - phase2_seconds);
+  return result;
+}
+
+EnumerationResult FlowMotifEnumerator::RunOnMatches(
+    const std::vector<MatchBinding>& matches,
+    const InstanceVisitor& visitor) const {
+  EnumerationResult result;
+  WallTimer timer;
+  for (const MatchBinding& binding : matches) {
+    ++result.num_structural_matches;
+    if (!EnumerateMatch(binding, visitor, &result)) break;
+  }
+  result.phase2_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<MotifInstance> FlowMotifEnumerator::CollectAll() const {
+  std::vector<MotifInstance> instances;
+  Run([&instances](const InstanceView& view) {
+    instances.push_back(view.Materialize());
+    return true;
+  });
+  return instances;
+}
+
+}  // namespace flowmotif

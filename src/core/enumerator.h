@@ -1,0 +1,145 @@
+#ifndef FLOWMOTIF_CORE_ENUMERATOR_H_
+#define FLOWMOTIF_CORE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/motif.h"
+#include "core/sliding_window.h"
+#include "core/structural_match.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+
+/// Parameters of a flow motif query: the delta / phi thresholds of
+/// Def. 3.1 plus execution options.
+struct EnumerationOptions {
+  /// Maximum time difference between any two interactions of an instance.
+  Timestamp delta = 0;
+
+  /// Minimum aggregated flow per motif edge. 0 disables flow pruning.
+  Flow phi = 0.0;
+
+  /// When set, instances additionally need flow strictly greater than the
+  /// returned value; re-evaluated on every check. This is the "floating
+  /// threshold" hook used by top-k search (Sec. 5): the k-th best flow so
+  /// far replaces phi.
+  std::function<Flow()> dynamic_min_flow_exclusive;
+
+  /// Paper-faithful enumeration can, in rare cross-window configurations,
+  /// emit an instance that a strictly earlier window could extend (see
+  /// DESIGN.md Sec. 4). Setting this applies a Def. 3.3 post-filter so
+  /// only exactly-maximal instances are reported.
+  bool strict_maximality = false;
+
+  /// Ablation switch: disables the early phi check of Algorithm 1 line
+  /// 16; partial prefixes below phi are still expanded and the flow
+  /// constraint is enforced only on complete instances. Results are
+  /// unchanged; only work grows. Used by bench_ablation.
+  bool ablation_no_prefix_phi_pruning = false;
+
+  /// Ablation switch: processes a window at *every* e1 anchor instead of
+  /// skipping positions without new e_m elements. The extra windows can
+  /// only regenerate non-maximal/duplicate instances, which are counted
+  /// separately in EnumerationResult::num_redundant_instances. Used by
+  /// bench_ablation.
+  bool ablation_no_window_skip = false;
+};
+
+/// A contiguous run [begin, end) of one edge's interaction series — the
+/// edge-set assigned to one motif edge by an instance.
+struct EdgeSlice {
+  const EdgeSeries* series = nullptr;
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+
+  size_t size() const { return end - begin; }
+  Flow FlowSum() const { return series->FlowSum(begin, end - 1); }
+};
+
+/// A zero-copy view of one enumerated instance, valid only during the
+/// visitor call. Call Materialize() to keep it.
+struct InstanceView {
+  const Motif* motif = nullptr;
+  const MatchBinding* binding = nullptr;
+  const std::vector<EdgeSlice>* slices = nullptr;
+  Window window{0, 0};
+  Flow flow = 0.0;  // f(GI), Eq. 1
+
+  /// Copies the view into an owning MotifInstance.
+  MotifInstance Materialize() const;
+};
+
+/// Visitor invoked once per instance; return false to stop enumeration.
+using InstanceVisitor = std::function<bool(const InstanceView&)>;
+
+/// Counters and timings reported by a run.
+struct EnumerationResult {
+  int64_t num_instances = 0;
+  int64_t num_structural_matches = 0;
+  int64_t num_windows_processed = 0;
+  int64_t num_phi_prunes = 0;         // prefixes cut by the flow bound
+  int64_t num_domination_skips = 0;   // prefixes cut as non-maximal
+  int64_t num_strict_rejects = 0;     // strict-mode Def. 3.3 rejections
+  int64_t num_redundant_instances = 0;  // only with ablation_no_window_skip
+  double phase1_seconds = 0.0;        // structural matching
+  double phase2_seconds = 0.0;        // window/instance enumeration
+
+  double total_seconds() const { return phase1_seconds + phase2_seconds; }
+};
+
+/// The paper's two-phase flow motif enumeration algorithm (Sec. 4):
+/// phase P1 finds structural matches, phase P2 slides a delta-length
+/// window over each match's interactions and recursively enumerates the
+/// maximal instances (Algorithm 1), pruning by phi.
+///
+/// Thread-compatible: one enumerator may be shared by concurrent Run
+/// calls since all state is per-call.
+class FlowMotifEnumerator {
+ public:
+  FlowMotifEnumerator(const TimeSeriesGraph& graph, const Motif& motif,
+                      const EnumerationOptions& options);
+  // The enumerator keeps a reference to the graph: temporaries would
+  // dangle.
+  FlowMotifEnumerator(TimeSeriesGraph&&, const Motif&,
+                      const EnumerationOptions&) = delete;
+
+  /// Full two-phase run. `visitor` may be null to count only.
+  EnumerationResult Run(const InstanceVisitor& visitor = nullptr) const;
+
+  /// Phase P2 only, over the given (externally computed) matches. Used by
+  /// benchmarks that isolate P2 and by the significance analyzer, which
+  /// reuses the real graph's matches on flow-permuted graphs.
+  EnumerationResult RunOnMatches(const std::vector<MatchBinding>& matches,
+                                 const InstanceVisitor& visitor = nullptr)
+      const;
+
+  /// Phase P2 for a single structural match, accumulating into `result`.
+  /// Returns false if the visitor requested a stop.
+  bool EnumerateMatch(const MatchBinding& binding,
+                      const InstanceVisitor& visitor,
+                      EnumerationResult* result) const;
+
+  /// Convenience: runs and materializes every instance.
+  std::vector<MotifInstance> CollectAll() const;
+
+  const Motif& motif() const { return motif_; }
+  const EnumerationOptions& options() const { return options_; }
+
+ private:
+  struct Context;
+
+  void Recurse(Context* ctx, int level, Timestamp lo) const;
+  bool PassesFlowBound(Flow flow) const;
+  void Emit(Context* ctx, Flow instance_flow) const;
+
+  const TimeSeriesGraph& graph_;
+  const Motif motif_;
+  const EnumerationOptions options_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_ENUMERATOR_H_

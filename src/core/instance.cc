@@ -1,0 +1,210 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+Flow MotifInstance::InstanceFlow() const {
+  Flow min_flow = std::numeric_limits<Flow>::infinity();
+  for (const auto& set : edge_sets) {
+    Flow sum = 0.0;
+    for (const Interaction& x : set) sum += x.f;
+    min_flow = std::min(min_flow, sum);
+  }
+  return edge_sets.empty() ? 0.0 : min_flow;
+}
+
+Timestamp MotifInstance::StartTime() const {
+  Timestamp t = std::numeric_limits<Timestamp>::max();
+  for (const auto& set : edge_sets) {
+    for (const Interaction& x : set) t = std::min(t, x.t);
+  }
+  return t;
+}
+
+Timestamp MotifInstance::EndTime() const {
+  Timestamp t = std::numeric_limits<Timestamp>::min();
+  for (const auto& set : edge_sets) {
+    for (const Interaction& x : set) t = std::max(t, x.t);
+  }
+  return t;
+}
+
+std::string MotifInstance::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < edge_sets.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << 'e' << (i + 1) << " <- {";
+    for (size_t j = 0; j < edge_sets[i].size(); ++j) {
+      if (j > 0) os << ',';
+      os << edge_sets[i][j];
+    }
+    os << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+bool operator<(const MotifInstance& a, const MotifInstance& b) {
+  if (a.binding != b.binding) return a.binding < b.binding;
+  return a.edge_sets < b.edge_sets;
+}
+
+namespace {
+
+/// True iff `set` is a subset of the series (every element appears; the
+/// series may hold duplicates, so match multiplicities greedily — both
+/// sides are sorted).
+bool IsSubsetOfSeries(const std::vector<Interaction>& set,
+                      const EdgeSeries& series) {
+  size_t cursor = 0;
+  for (const Interaction& x : set) {
+    bool found = false;
+    while (cursor < series.size() && series.time(cursor) <= x.t) {
+      if (series.time(cursor) == x.t && series.flow(cursor) == x.f) {
+        ++cursor;
+        found = true;
+        break;
+      }
+      ++cursor;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ValidateInstance(const TimeSeriesGraph& graph, const Motif& motif,
+                        const MotifInstance& instance, Timestamp delta,
+                        Flow phi) {
+  const int m = motif.num_edges();
+  if (static_cast<int>(instance.binding.size()) != motif.num_nodes()) {
+    return Status::InvalidArgument("binding size != motif node count");
+  }
+  if (static_cast<int>(instance.edge_sets.size()) != m) {
+    return Status::InvalidArgument("edge-set count != motif edge count");
+  }
+
+  // Bijection: distinct motif nodes map to distinct graph vertices.
+  std::set<VertexId> used;
+  for (VertexId v : instance.binding) {
+    if (v < 0 || v >= graph.num_vertices()) {
+      return Status::InvalidArgument("binding vertex out of range");
+    }
+    if (!used.insert(v).second) {
+      return Status::InvalidArgument("binding is not injective");
+    }
+  }
+
+  for (int i = 0; i < m; ++i) {
+    const auto [src_node, dst_node] = motif.edge(i);
+    const VertexId u = instance.binding[static_cast<size_t>(src_node)];
+    const VertexId v = instance.binding[static_cast<size_t>(dst_node)];
+    const std::vector<Interaction>& set =
+        instance.edge_sets[static_cast<size_t>(i)];
+    if (set.empty()) {
+      return Status::InvalidArgument("edge-set " + std::to_string(i + 1) +
+                                     " is empty");
+    }
+    if (!std::is_sorted(set.begin(), set.end())) {
+      return Status::InvalidArgument("edge-set " + std::to_string(i + 1) +
+                                     " is not sorted by time");
+    }
+    const EdgeSeries* series = graph.FindSeries(u, v);
+    if (series == nullptr) {
+      return Status::InvalidArgument("no graph edge for motif edge " +
+                                     std::to_string(i + 1));
+    }
+    if (!IsSubsetOfSeries(set, *series)) {
+      return Status::InvalidArgument("edge-set " + std::to_string(i + 1) +
+                                     " is not a subset of the pair series");
+    }
+    Flow sum = 0.0;
+    for (const Interaction& x : set) sum += x.f;
+    if (sum < phi) {
+      return Status::InvalidArgument(
+          "edge-set " + std::to_string(i + 1) + " flow " +
+          std::to_string(sum) + " below phi " + std::to_string(phi));
+    }
+  }
+
+  // Strict time separation between consecutive edge-sets. Because the
+  // motif's edges form a path, this implies the paper's pairwise
+  // time-respecting condition for all label-ordered adjacent edges.
+  for (int i = 0; i + 1 < m; ++i) {
+    const Timestamp last_i =
+        instance.edge_sets[static_cast<size_t>(i)].back().t;
+    const Timestamp first_next =
+        instance.edge_sets[static_cast<size_t>(i) + 1].front().t;
+    if (!(last_i < first_next)) {
+      return Status::InvalidArgument(
+          "edge-sets " + std::to_string(i + 1) + " and " +
+          std::to_string(i + 2) + " are not strictly time-separated");
+    }
+  }
+
+  if (instance.Span() > delta) {
+    return Status::InvalidArgument("instance span " +
+                                   std::to_string(instance.Span()) +
+                                   " exceeds delta " + std::to_string(delta));
+  }
+  return Status::OK();
+}
+
+bool IsMaximalInstance(const TimeSeriesGraph& graph, const Motif& motif,
+                       const MotifInstance& instance, Timestamp delta) {
+  const int m = motif.num_edges();
+  const Timestamp start = instance.StartTime();
+  const Timestamp end = instance.EndTime();
+
+  for (int i = 0; i < m; ++i) {
+    const auto [src_node, dst_node] = motif.edge(i);
+    const VertexId u = instance.binding[static_cast<size_t>(src_node)];
+    const VertexId v = instance.binding[static_cast<size_t>(dst_node)];
+    const EdgeSeries* series = graph.FindSeries(u, v);
+    FLOWMOTIF_CHECK(series != nullptr);
+    const std::vector<Interaction>& set =
+        instance.edge_sets[static_cast<size_t>(i)];
+
+    // An added element x must keep strict separation from the neighbor
+    // edge-sets and keep the overall span within delta. Added flow can
+    // only increase edge flows, so phi can never be violated by addition.
+    const Timestamp order_lo =
+        i > 0 ? instance.edge_sets[static_cast<size_t>(i) - 1].back().t
+              : std::numeric_limits<Timestamp>::min();
+    const Timestamp order_hi =
+        i + 1 < m ? instance.edge_sets[static_cast<size_t>(i) + 1].front().t
+                  : std::numeric_limits<Timestamp>::max();
+
+    for (size_t idx = 0; idx < series->size(); ++idx) {
+      const Interaction x = series->at(idx);
+      if (!(x.t > order_lo && x.t < order_hi)) continue;
+      const Timestamp new_start = std::min(start, x.t);
+      const Timestamp new_end = std::max(end, x.t);
+      if (new_end - new_start > delta) continue;
+      // x fits; it is addable unless every series occurrence of this
+      // (t, f) value is already in the set (multiset-aware comparison).
+      size_t in_series = 0;
+      for (size_t k = 0; k < series->size(); ++k) {
+        if (series->time(k) == x.t && series->flow(k) == x.f) ++in_series;
+      }
+      size_t in_set = 0;
+      for (const Interaction& y : set) {
+        if (y.t == x.t && y.f == x.f) ++in_set;
+      }
+      if (in_series > in_set) {
+        return false;  // a spare occurrence of x can extend the instance
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace flowmotif

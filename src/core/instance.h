@@ -1,0 +1,65 @@
+#ifndef FLOWMOTIF_CORE_INSTANCE_H_
+#define FLOWMOTIF_CORE_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/motif.h"
+#include "graph/time_series_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// A materialized flow motif instance (Def. 3.2): the vertex binding plus,
+/// for every motif edge, the set of interactions assigned to it (kept in
+/// time order).
+struct MotifInstance {
+  /// Motif node -> graph vertex (size = motif.num_nodes()).
+  MatchBinding binding;
+
+  /// edge_sets[i] instantiates the motif edge with label i+1; each set is
+  /// non-empty and sorted by time.
+  std::vector<std::vector<Interaction>> edge_sets;
+
+  /// Instance flow f(GI): the minimum aggregated edge-set flow (Eq. 1).
+  Flow InstanceFlow() const;
+
+  /// Earliest / latest interaction timestamp across all edge-sets.
+  Timestamp StartTime() const;
+  Timestamp EndTime() const;
+
+  /// Duration EndTime() - StartTime().
+  Timestamp Span() const { return EndTime() - StartTime(); }
+
+  /// Rendering like "[e1 <- {(10,10)}, e2 <- {(13,5),(15,7)}]".
+  std::string ToString() const;
+
+  friend bool operator==(const MotifInstance& a, const MotifInstance& b) {
+    return a.binding == b.binding && a.edge_sets == b.edge_sets;
+  }
+  /// Lexicographic order for canonical sorting in tests.
+  friend bool operator<(const MotifInstance& a, const MotifInstance& b);
+};
+
+/// Checks every condition of Def. 3.2 plus the delta / phi constraints:
+/// * binding is injective and edge-sets sit on existing graph pairs;
+/// * every edge-set is a non-empty subset of the pair's series;
+/// * consecutive edge-sets are strictly time-separated (which implies the
+///   definition's time-respecting condition along the spanning path);
+/// * total span <= delta; every edge-set flow >= phi.
+/// Returns OK or a description of the first violated condition.
+Status ValidateInstance(const TimeSeriesGraph& graph, const Motif& motif,
+                        const MotifInstance& instance, Timestamp delta,
+                        Flow phi);
+
+/// Checks maximality (Def. 3.3): no interaction from the underlying pair
+/// series can be added to any edge-set while keeping the instance valid
+/// (time-respecting order and duration; added flow never violates phi).
+/// Precondition: the instance is valid.
+bool IsMaximalInstance(const TimeSeriesGraph& graph, const Motif& motif,
+                       const MotifInstance& instance, Timestamp delta);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_INSTANCE_H_

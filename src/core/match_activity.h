@@ -1,0 +1,59 @@
+#ifndef FLOWMOTIF_CORE_MATCH_ACTIVITY_H_
+#define FLOWMOTIF_CORE_MATCH_ACTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/motif.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+
+/// Groups motif instances per structural match — the analysis sketched in
+/// the paper's future work (Sec. 7): "group the motif instances per
+/// structural match, in order to identify the structural matches (sets of
+/// vertices) with the largest activity and how this activity is spread
+/// along the timeline".
+class MatchActivityAnalyzer {
+ public:
+  /// Aggregate activity of one structural match.
+  struct MatchActivity {
+    MatchBinding binding;
+    int64_t instance_count = 0;
+    Flow max_instance_flow = 0.0;
+    Flow total_instance_flow = 0.0;     // sum of f(GI) over instances
+    Timestamp first_window_start = 0;   // earliest instance window
+    Timestamp last_window_start = 0;    // latest instance window
+  };
+
+  /// Instance counts bucketed over the time axis (activity spread).
+  struct TimelineHistogram {
+    Timestamp bucket_width = 0;
+    Timestamp origin = 0;               // start of bucket 0
+    std::vector<int64_t> counts;        // instances per bucket
+  };
+
+  MatchActivityAnalyzer(const TimeSeriesGraph& graph, const Motif& motif,
+                        const EnumerationOptions& options);
+  // The analyzer keeps a reference to the graph: temporaries would dangle.
+  MatchActivityAnalyzer(TimeSeriesGraph&&, const Motif&,
+                        const EnumerationOptions&) = delete;
+
+  /// Returns per-match activity for the `top_n` matches with the most
+  /// instances (ties broken by total flow, then by binding), discarding
+  /// matches with no instances.
+  std::vector<MatchActivity> TopMatches(int64_t top_n) const;
+
+  /// Buckets all instances (across matches) by window start time.
+  TimelineHistogram Timeline(Timestamp bucket_width) const;
+
+ private:
+  const TimeSeriesGraph& graph_;
+  const Motif motif_;
+  EnumerationOptions options_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_MATCH_ACTIVITY_H_

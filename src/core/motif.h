@@ -1,0 +1,120 @@
+#ifndef FLOWMOTIF_CORE_MOTIF_H_
+#define FLOWMOTIF_CORE_MOTIF_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// Motif-local node identifier: 0 .. num_nodes-1.
+using MotifNode = int;
+
+/// A structural assignment of motif nodes to graph vertices: element i is
+/// the graph vertex that motif node i maps to (the bijection mu of
+/// Def. 3.2, restricted to the motif's vertex set).
+using MatchBinding = std::vector<VertexId>;
+
+/// The graph structure GM of a network flow motif (Def. 3.1).
+///
+/// The edge labels 1..m define a total order over the edges. In the
+/// paper the ordered edges always form a *spanning path*
+/// SPM = e1 e2 ... em (Sec. 3) — build those with FromSpanningPath,
+/// which represents the motif as the node sequence the path visits
+/// (`path()[i-1] -> path()[i]` is the edge labeled i; repeated nodes
+/// create cycles).
+///
+/// This library also implements the paper's future-work generalization
+/// (Sec. 7): motifs whose label-ordered edges form an arbitrary weakly
+/// connected shape with forks and joins (e.g. the fan-out 0->1, 0->2).
+/// Build those with FromEdgeList. The temporal semantics stay the total
+/// label order: every interaction assigned to edge i strictly precedes
+/// every interaction assigned to edge i+1.
+///
+/// The duration bound delta and flow bound phi are *query* parameters and
+/// live in EnumerationOptions, not here, so one Motif can be reused across
+/// parameter sweeps (Figs. 9, 10).
+class Motif {
+ public:
+  /// Validates and builds a path motif from its spanning-path node
+  /// sequence, e.g. {0,1,2,0} is the 3-node cycle M(3,3). Requirements:
+  /// * at least 2 path entries (one edge);
+  /// * node ids are dense: each id in [0, max_id] appears;
+  /// * consecutive nodes differ (no self-loop edges);
+  /// * no ordered pair of nodes repeats (edges are distinct).
+  static StatusOr<Motif> FromSpanningPath(std::vector<MotifNode> path,
+                                          std::string name = "");
+
+  /// Validates and builds a general motif from its label-ordered edge
+  /// list, e.g. {{0,1},{0,2}} is a 2-way fan-out. Requirements:
+  /// * at least one edge; no self-loops; no repeated ordered pairs;
+  /// * node ids dense;
+  /// * the undirected skeleton is connected (motifs are small connected
+  ///   patterns).
+  /// If the edges happen to chain into a spanning path, the motif is
+  /// indistinguishable from the FromSpanningPath equivalent.
+  static StatusOr<Motif> FromEdgeList(
+      std::vector<std::pair<MotifNode, MotifNode>> edges,
+      std::string name = "");
+
+  /// Parses "0-1-2-0" path notation, or "0>1,0>2" edge-list notation.
+  static StatusOr<Motif> Parse(const std::string& text,
+                               std::string name = "");
+
+  /// Number of motif vertices |VM|.
+  int num_nodes() const { return num_nodes_; }
+
+  /// Number of motif edges m = |EM|.
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Edge with label i+1 (0-based index i) as (source, target) motif nodes.
+  std::pair<MotifNode, MotifNode> edge(int i) const {
+    return edges_[static_cast<size_t>(i)];
+  }
+
+  /// All edges in label order.
+  const std::vector<std::pair<MotifNode, MotifNode>>& edges() const {
+    return edges_;
+  }
+
+  /// True iff the label-ordered edges chain into a spanning path (every
+  /// motif of the paper's Fig. 3 does). path() is only valid then.
+  bool is_path() const { return is_path_; }
+
+  /// The spanning-path node sequence (length num_edges()+1). Only valid
+  /// when is_path().
+  const std::vector<MotifNode>& path() const { return path_; }
+
+  /// True iff the motif graph contains a directed cycle.
+  bool HasCycle() const;
+
+  /// Display name, e.g. "M(3,3)"; defaults to PathString().
+  const std::string& name() const { return name_; }
+
+  /// "0-1-2-0" for path motifs, "0>1,0>2" for general ones.
+  std::string PathString() const;
+
+  friend bool operator==(const Motif& a, const Motif& b) {
+    return a.edges_ == b.edges_;
+  }
+
+ private:
+  Motif() = default;
+
+  static StatusOr<Motif> Build(
+      std::vector<std::pair<MotifNode, MotifNode>> edges, std::string name,
+      bool require_path);
+
+  std::vector<std::pair<MotifNode, MotifNode>> edges_;
+  std::vector<MotifNode> path_;  // empty unless is_path_
+  int num_nodes_ = 0;
+  bool is_path_ = false;
+  std::string name_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_MOTIF_H_

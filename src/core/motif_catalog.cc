@@ -1,0 +1,52 @@
+#include "core/motif_catalog.h"
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+
+Motif MakeMotif(std::vector<MotifNode> path, const std::string& name) {
+  StatusOr<Motif> motif = Motif::FromSpanningPath(std::move(path), name);
+  FLOWMOTIF_CHECK(motif.ok()) << motif.status().ToString();
+  return *std::move(motif);
+}
+
+std::vector<Motif> BuildCatalog() {
+  std::vector<Motif> motifs;
+  motifs.push_back(MakeMotif({0, 1, 2}, "M(3,2)"));
+  motifs.push_back(MakeMotif({0, 1, 2, 0}, "M(3,3)"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3}, "M(4,3)"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 0}, "M(4,4)A"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 1}, "M(4,4)B"));
+  motifs.push_back(MakeMotif({0, 1, 2, 0, 3}, "M(4,4)C"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 4}, "M(5,4)"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 4, 0}, "M(5,5)A"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 0, 4}, "M(5,5)B"));
+  motifs.push_back(MakeMotif({0, 1, 2, 3, 4, 1}, "M(5,5)C"));
+  return motifs;
+}
+
+}  // namespace
+
+const std::vector<Motif>& MotifCatalog::All() {
+  static const std::vector<Motif>* const kCatalog =
+      new std::vector<Motif>(BuildCatalog());
+  return *kCatalog;
+}
+
+StatusOr<Motif> MotifCatalog::ByName(const std::string& name) {
+  for (const Motif& m : All()) {
+    if (m.name() == name) return m;
+  }
+  return Status::NotFound("no catalog motif named '" + name + "'");
+}
+
+std::vector<std::string> MotifCatalog::Names() {
+  std::vector<std::string> names;
+  names.reserve(All().size());
+  for (const Motif& m : All()) names.push_back(m.name());
+  return names;
+}
+
+}  // namespace flowmotif

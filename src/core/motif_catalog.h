@@ -1,0 +1,42 @@
+#ifndef FLOWMOTIF_CORE_MOTIF_CATALOG_H_
+#define FLOWMOTIF_CORE_MOTIF_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/motif.h"
+
+namespace flowmotif {
+
+/// The ten motifs evaluated throughout the paper (Fig. 3). M(n, m) has n
+/// nodes and m edges; letter suffixes distinguish variants with the same
+/// size. All are single spanning paths as the paper requires.
+///
+/// Exact spanning paths (Fig. 3 is not machine-readable in the source
+/// text; see DESIGN.md Sec. 3 for the reading used here):
+///   M(3,2)  0-1-2        chain
+///   M(3,3)  0-1-2-0      3-cycle ("cyclic transactions")
+///   M(4,3)  0-1-2-3      chain ("region-to-region movements")
+///   M(4,4)A 0-1-2-3-0    4-cycle
+///   M(4,4)B 0-1-2-3-1    tail into a 3-cycle
+///   M(4,4)C 0-1-2-0-3    3-cycle then tail out
+///   M(5,4)  0-1-2-3-4    chain
+///   M(5,5)A 0-1-2-3-4-0  5-cycle
+///   M(5,5)B 0-1-2-3-0-4  4-cycle then tail out
+///   M(5,5)C 0-1-2-3-4-1  tail into a 4-cycle
+class MotifCatalog {
+ public:
+  /// All ten motifs, in the paper's presentation order.
+  static const std::vector<Motif>& All();
+
+  /// Looks a motif up by name, e.g. "M(4,4)B". Returns NotFound for names
+  /// outside the catalog.
+  static StatusOr<Motif> ByName(const std::string& name);
+
+  /// Names in presentation order (convenient for bench tables).
+  static std::vector<std::string> Names();
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_MOTIF_CATALOG_H_

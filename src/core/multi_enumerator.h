@@ -1,0 +1,58 @@
+#ifndef FLOWMOTIF_CORE_MULTI_ENUMERATOR_H_
+#define FLOWMOTIF_CORE_MULTI_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/multi_matcher.h"
+#include "core/motif.h"
+#include "graph/time_series_graph.h"
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// End-to-end multi-motif search: one pass of shared-prefix structural
+/// matching (MultiStructuralMatcher) feeding per-motif phase-P2
+/// enumeration, streamed match by match. This is the paper's Sec. 7
+/// "process multiple structural instances together" direction exposed as
+/// a user-facing query API: analysts typically screen a whole catalog of
+/// suspicious shapes, not one motif at a time.
+///
+/// All motifs share one (delta, phi) option set, as in the paper's
+/// per-dataset defaults.
+class MultiMotifEnumerator {
+ public:
+  /// Visitor receives (motif index within the input set, instance view);
+  /// return false to stop the whole search.
+  using Visitor = std::function<bool(size_t, const InstanceView&)>;
+
+  /// Same motif-set requirements as MultiStructuralMatcher (canonical
+  /// spanning-path motifs).
+  static StatusOr<MultiMotifEnumerator> Create(
+      const TimeSeriesGraph& graph, std::vector<Motif> motifs,
+      const EnumerationOptions& options);
+  static StatusOr<MultiMotifEnumerator> Create(TimeSeriesGraph&&,
+                                               std::vector<Motif>,
+                                               const EnumerationOptions&) =
+      delete;
+
+  /// Runs the combined search; returns one result per motif, in input
+  /// order. `visitor` may be null to count only.
+  std::vector<EnumerationResult> Run(const Visitor& visitor = nullptr) const;
+
+ private:
+  MultiMotifEnumerator(const TimeSeriesGraph& graph,
+                       std::vector<Motif> motifs,
+                       const EnumerationOptions& options,
+                       MultiStructuralMatcher matcher);
+
+  const TimeSeriesGraph& graph_;
+  std::vector<Motif> motifs_;
+  EnumerationOptions options_;
+  MultiStructuralMatcher matcher_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_MULTI_ENUMERATOR_H_

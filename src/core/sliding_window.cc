@@ -1,0 +1,48 @@
+#include "core/sliding_window.h"
+
+#include <limits>
+
+namespace flowmotif {
+
+std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
+                                            const EdgeSeries& last,
+                                            Timestamp delta) {
+  std::vector<Window> windows;
+  Timestamp prev_end = std::numeric_limits<Timestamp>::min();
+  Timestamp prev_anchor = std::numeric_limits<Timestamp>::min();
+
+  for (size_t i = 0; i < first.size(); ++i) {
+    const Timestamp anchor = first.time(i);
+    if (anchor == prev_anchor) continue;  // duplicate anchor timestamp
+    const Timestamp end = anchor + delta;
+    // Novelty rule: the window must contain an R(em) element later than
+    // the previous processed window's end. For the first window this
+    // reduces to "contains any R(em) element within [anchor, end]".
+    const Timestamp lo =
+        prev_end == std::numeric_limits<Timestamp>::min()
+            ? anchor - 1  // include elements at exactly `anchor`
+            : prev_end;
+    if (!last.HasElementInOpenClosed(lo, end)) continue;
+    windows.push_back(Window{anchor, end});
+    prev_end = end;
+    prev_anchor = anchor;
+  }
+  return windows;
+}
+
+std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
+                                      Timestamp delta) {
+  std::vector<Window> windows;
+  Timestamp prev_anchor = std::numeric_limits<Timestamp>::min();
+  bool have_prev = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    const Timestamp anchor = first.time(i);
+    if (have_prev && anchor == prev_anchor) continue;
+    windows.push_back(Window{anchor, anchor + delta});
+    prev_anchor = anchor;
+    have_prev = true;
+  }
+  return windows;
+}
+
+}  // namespace flowmotif

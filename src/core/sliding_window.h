@@ -1,0 +1,50 @@
+#ifndef FLOWMOTIF_CORE_SLIDING_WINDOW_H_
+#define FLOWMOTIF_CORE_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "graph/edge_series.h"
+#include "graph/types.h"
+
+namespace flowmotif {
+
+/// A sliding-window position [start, end] with end = start + delta
+/// (Sec. 4, phase P2).
+struct Window {
+  Timestamp start;
+  Timestamp end;
+
+  friend bool operator==(const Window& a, const Window& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// Computes the window positions Algorithm 1 actually processes for one
+/// structural match:
+///
+/// * windows are anchored at the elements of the first motif edge's series
+///   R(e1) (the instance must contain the temporally first e1 element of
+///   its window);
+/// * a position is skipped when it contains no element of the last motif
+///   edge's series R(em) beyond the previous processed window's end —
+///   such positions can only regenerate non-maximal instances (the
+///   paper's example: position [13,23] is skipped because [10,20] already
+///   covers every e3 element up to time 23).
+///
+/// `first` is R(e1), `last` is R(em) (the same series when the motif has
+/// one edge). Returned windows are ordered by start time; duplicate
+/// anchor timestamps yield a single window.
+std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
+                                            const EdgeSeries& last,
+                                            Timestamp delta);
+
+/// All window positions, one per distinct R(e1) anchor timestamp, with no
+/// novelty filtering. Used only by the ablation study to quantify what
+/// the skip rule saves; the extra windows can only regenerate
+/// non-maximal or duplicate instances.
+std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
+                                      Timestamp delta);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_SLIDING_WINDOW_H_

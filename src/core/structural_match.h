@@ -1,0 +1,71 @@
+#ifndef FLOWMOTIF_CORE_STRUCTURAL_MATCH_H_
+#define FLOWMOTIF_CORE_STRUCTURAL_MATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/motif.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+
+/// Phase P1 of the paper's two-phase algorithm (Sec. 4): finds every
+/// structural match of the motif graph GM in the time-series graph GT,
+/// disregarding edge labels' time series and the delta / phi constraints.
+///
+/// For spanning-path motifs the implementation follows the paper: a
+/// modified depth-first search that walks the motif's spanning path.
+/// Every graph vertex is tried as the image of the path's origin; at
+/// step i the (i+1)-th path node is either already bound (the edge must
+/// exist between the bound vertices — this realizes the "last vertex
+/// equals first vertex" cycle check and all other repeats) or is bound
+/// to each out-neighbor that keeps the binding injective.
+///
+/// General motifs (forks/joins, the Sec. 7 extension) are matched by
+/// backtracking over the edges in label order: a new target vertex is
+/// drawn from the out-neighbors of the bound source, a new source vertex
+/// from the in-neighbors of the bound target, and an edge with both
+/// endpoints fresh scans the pair table.
+///
+/// Enumeration order is deterministic: origins in vertex order, neighbors
+/// in CSR (destination / source) order.
+class StructuralMatcher {
+ public:
+  /// Visitor invoked per match; return false to stop the search early.
+  using MatchVisitor = std::function<bool(const MatchBinding&)>;
+
+  StructuralMatcher(const TimeSeriesGraph& graph, const Motif& motif);
+  // The matcher keeps a reference to the graph: temporaries would dangle.
+  StructuralMatcher(TimeSeriesGraph&&, const Motif&) = delete;
+
+  /// Streams every structural match to `visitor`.
+  void FindAll(const MatchVisitor& visitor) const;
+
+  /// Convenience: materializes all matches.
+  std::vector<MatchBinding> FindAllMatches() const;
+
+  /// Counts matches without materializing them.
+  int64_t CountMatches() const;
+
+  /// Verifies that `binding` is a structural match (used by tests and to
+  /// validate externally supplied bindings): injective, within range, and
+  /// every motif edge maps to a connected pair.
+  bool IsMatch(const MatchBinding& binding) const;
+
+ private:
+  void Dfs(size_t step, MatchBinding* binding,
+           std::vector<bool>* vertex_used, const MatchVisitor& visitor,
+           bool* stop) const;
+  void GeneralDfs(int edge_idx, MatchBinding* binding,
+                  std::vector<bool>* vertex_used, const MatchVisitor& visitor,
+                  bool* stop) const;
+
+  const TimeSeriesGraph& graph_;
+  const Motif motif_;  // by value: motifs are tiny and callers often pass
+                       // temporaries
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_STRUCTURAL_MATCH_H_

@@ -1,0 +1,117 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+
+/// Bounded min-heap over instance flows: the top is the current k-th best
+/// flow, which doubles as the floating pruning threshold.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int64_t k) : k_(k) {}
+
+  /// Exclusive lower bound for a new instance to be useful.
+  Flow Threshold() const {
+    return static_cast<int64_t>(heap_.size()) < k_ ? 0.0 : heap_.top().flow;
+  }
+
+  void Offer(Flow flow, const InstanceView& view) {
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push({flow, seq_++, view.Materialize()});
+      return;
+    }
+    if (flow > heap_.top().flow) {
+      heap_.pop();
+      heap_.push({flow, seq_++, view.Materialize()});
+    }
+  }
+
+  std::vector<TopKSearcher::Entry> Drain() {
+    std::vector<Item> items;
+    items.reserve(heap_.size());
+    while (!heap_.empty()) {
+      items.push_back(heap_.top());
+      heap_.pop();
+    }
+    // Heap pops ascending; results are reported by decreasing flow with
+    // earlier discoveries first among ties.
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      if (a.flow != b.flow) return a.flow > b.flow;
+      return a.seq < b.seq;
+    });
+    std::vector<TopKSearcher::Entry> entries;
+    entries.reserve(items.size());
+    for (Item& item : items) {
+      entries.push_back({item.flow, std::move(item.instance)});
+    }
+    return entries;
+  }
+
+ private:
+  struct Item {
+    Flow flow;
+    int64_t seq;
+    MotifInstance instance;
+  };
+  struct MinFlowOrder {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.flow != b.flow) return a.flow > b.flow;  // min-heap on flow
+      return a.seq < b.seq;  // evict the newest among equal flows
+    }
+  };
+
+  int64_t k_;
+  int64_t seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, MinFlowOrder> heap_;
+};
+
+}  // namespace
+
+TopKSearcher::TopKSearcher(const TimeSeriesGraph& graph, const Motif& motif,
+                           Timestamp delta, int64_t k)
+    : graph_(graph), motif_(motif), delta_(delta), k_(k) {
+  FLOWMOTIF_CHECK_GE(k, 1);
+}
+
+TopKSearcher::Result TopKSearcher::Run() const {
+  TopKHeap heap(k_);
+  EnumerationOptions options;
+  options.delta = delta_;
+  options.phi = 0.0;
+  options.dynamic_min_flow_exclusive = [&heap]() { return heap.Threshold(); };
+  FlowMotifEnumerator enumerator(graph_, motif_, options);
+
+  Result result;
+  result.stats = enumerator.Run([&heap](const InstanceView& view) {
+    heap.Offer(view.flow, view);
+    return true;
+  });
+  result.entries = heap.Drain();
+  return result;
+}
+
+TopKSearcher::Result TopKSearcher::RunOnMatches(
+    const std::vector<MatchBinding>& matches) const {
+  TopKHeap heap(k_);
+  EnumerationOptions options;
+  options.delta = delta_;
+  options.phi = 0.0;
+  options.dynamic_min_flow_exclusive = [&heap]() { return heap.Threshold(); };
+  FlowMotifEnumerator enumerator(graph_, motif_, options);
+
+  Result result;
+  result.stats = enumerator.RunOnMatches(
+      matches, [&heap](const InstanceView& view) {
+        heap.Offer(view.flow, view);
+        return true;
+      });
+  result.entries = heap.Drain();
+  return result;
+}
+
+}  // namespace flowmotif

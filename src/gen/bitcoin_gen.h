@@ -1,0 +1,29 @@
+#ifndef FLOWMOTIF_GEN_BITCOIN_GEN_H_
+#define FLOWMOTIF_GEN_BITCOIN_GEN_H_
+
+#include "gen/generator.h"
+#include "graph/interaction_graph.h"
+
+namespace flowmotif {
+
+/// Synthetic stand-in for the paper's Bitcoin user graph (Sec. 6.1):
+/// a sparse digraph with heavy-tailed (Zipf-ranked) degrees, a minority of
+/// deliberately cyclic "pockets" (cyclic money flow is common in Bitcoin,
+/// per the paper's Table 4 / Fig. 14 discussion), rare multi-edges, and
+/// Pareto-distributed transaction amounts with mean near the paper's
+/// 4.845 BTC, truncated below at 0.0001 BTC like the paper's
+/// preprocessing.
+class BitcoinLikeGenerator {
+ public:
+  explicit BitcoinLikeGenerator(const GeneratorConfig& config)
+      : config_(config) {}
+
+  InteractionGraph Generate() const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GEN_BITCOIN_GEN_H_

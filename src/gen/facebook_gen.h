@@ -1,0 +1,28 @@
+#ifndef FLOWMOTIF_GEN_FACEBOOK_GEN_H_
+#define FLOWMOTIF_GEN_FACEBOOK_GEN_H_
+
+#include "gen/generator.h"
+#include "graph/interaction_graph.h"
+
+namespace flowmotif {
+
+/// Synthetic stand-in for the paper's Facebook interaction network
+/// (Sec. 6.1): users grouped into communities with mostly intra-community
+/// links and frequent reciprocation, roughly uniform (light-tailed)
+/// degrees, ~3-4 interactions per connected pair (the paper aggregates
+/// likes/messages into 30-second bins), and small integer flows with mean
+/// near the paper's 3.014.
+class FacebookLikeGenerator {
+ public:
+  explicit FacebookLikeGenerator(const GeneratorConfig& config)
+      : config_(config) {}
+
+  InteractionGraph Generate() const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GEN_FACEBOOK_GEN_H_

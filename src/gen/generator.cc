@@ -1,0 +1,241 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+Topology::Topology(int64_t num_vertices)
+    : num_vertices_(num_vertices),
+      adjacency_(static_cast<size_t>(num_vertices)) {
+  FLOWMOTIF_CHECK_GT(num_vertices, 0);
+}
+
+bool Topology::AddPair(VertexId u, VertexId v) {
+  if (u == v) return false;
+  FLOWMOTIF_CHECK(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  if (!seen_.insert({u, v}).second) return false;
+  pairs_.push_back({u, v});
+  adjacency_[static_cast<size_t>(u)].push_back(v);
+  return true;
+}
+
+bool Topology::HasPair(VertexId u, VertexId v) const {
+  return seen_.count({u, v}) > 0;
+}
+
+TimeSampler UniformTimeSampler(Timestamp time_span) {
+  return [time_span](Rng* rng) {
+    return static_cast<Timestamp>(
+        rng->NextBounded(static_cast<uint64_t>(time_span)));
+  };
+}
+
+void AddCyclePockets(Topology* topology, int64_t count, int cycle_length,
+                     Rng* rng) {
+  FLOWMOTIF_CHECK_GE(cycle_length, 2);
+  const int64_t n = topology->num_vertices();
+  if (n < cycle_length) return;
+  for (int64_t i = 0; i < count; ++i) {
+    // Draw `cycle_length` distinct vertices.
+    std::vector<VertexId> ring;
+    while (static_cast<int>(ring.size()) < cycle_length) {
+      VertexId v = static_cast<VertexId>(rng->NextBounded(
+          static_cast<uint64_t>(n)));
+      if (std::find(ring.begin(), ring.end(), v) == ring.end()) {
+        ring.push_back(v);
+      }
+    }
+    for (int j = 0; j < cycle_length; ++j) {
+      topology->AddPair(ring[static_cast<size_t>(j)],
+                        ring[static_cast<size_t>((j + 1) % cycle_length)]);
+    }
+  }
+}
+
+void AddDensePockets(Topology* topology, int64_t count, int size,
+                     bool acyclic, Rng* rng) {
+  FLOWMOTIF_CHECK_GE(size, 2);
+  const int64_t n = topology->num_vertices();
+  if (n < size) return;
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<VertexId> members;
+    while (static_cast<int>(members.size()) < size) {
+      VertexId v = static_cast<VertexId>(
+          rng->NextBounded(static_cast<uint64_t>(n)));
+      if (std::find(members.begin(), members.end(), v) == members.end()) {
+        members.push_back(v);
+      }
+    }
+    for (int a = 0; a < size; ++a) {
+      for (int b = 0; b < size; ++b) {
+        if (a == b) continue;
+        if (acyclic && a > b) continue;  // forward pairs only
+        topology->AddPair(members[static_cast<size_t>(a)],
+                          members[static_cast<size_t>(b)]);
+      }
+    }
+  }
+}
+
+std::vector<VertexId> AddDisjointPockets(Topology* topology,
+                                         const std::vector<PocketSpec>& specs,
+                                         Rng* rng) {
+  const int64_t n = topology->num_vertices();
+  std::vector<VertexId> pool(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    pool[static_cast<size_t>(i)] = static_cast<VertexId>(i);
+  }
+  rng->Shuffle(&pool);
+
+  size_t cursor = 0;
+  for (const PocketSpec& spec : specs) {
+    FLOWMOTIF_CHECK_GE(spec.size, 2);
+    for (int64_t p = 0; p < spec.count; ++p) {
+      if (cursor + static_cast<size_t>(spec.size) > pool.size()) break;
+      for (int a = 0; a < spec.size; ++a) {
+        for (int b = 0; b < spec.size; ++b) {
+          if (a == b) continue;
+          if (spec.acyclic && a > b) continue;
+          topology->AddPair(pool[cursor + static_cast<size_t>(a)],
+                            pool[cursor + static_cast<size_t>(b)]);
+        }
+      }
+      cursor += static_cast<size_t>(spec.size);
+    }
+  }
+  return std::vector<VertexId>(pool.begin() + static_cast<int64_t>(cursor),
+                               pool.end());
+}
+
+void AddLayeredBackbone(Topology* topology,
+                        const std::vector<VertexId>& vertices,
+                        int64_t num_pairs, Rng* rng) {
+  if (vertices.size() < 3 || num_pairs <= 0) return;
+  const size_t l1 = vertices.size() * 2 / 5;
+  const size_t l2 = vertices.size() / 5;
+  const size_t l3 = vertices.size() - l1 - l2;
+  if (l1 == 0 || l2 == 0 || l3 == 0) return;
+
+  int64_t added = 0;
+  int64_t attempts = 0;
+  while (added < num_pairs && attempts < num_pairs * 20) {
+    ++attempts;
+    VertexId src;
+    VertexId dst;
+    if (rng->UniformDouble() < 0.5) {  // layer1 -> layer2
+      src = vertices[rng->NextBounded(l1)];
+      dst = vertices[l1 + rng->NextBounded(l2)];
+    } else {  // layer2 -> layer3
+      src = vertices[l1 + rng->NextBounded(l2)];
+      dst = vertices[l1 + l2 + rng->NextBounded(l3)];
+    }
+    if (topology->AddPair(src, dst)) ++added;
+  }
+}
+
+namespace {
+
+/// Forwards one cascade along the topology; emits its events into `graph`.
+/// Returns the number of events emitted.
+int64_t EmitCascade(const Topology& topology, const GeneratorConfig& config,
+                    const FlowSampler& flow_sampler,
+                    const TimeSampler& time_sampler, Rng* rng,
+                    InteractionGraph* graph) {
+  const int64_t n = topology.num_vertices();
+  // Find a start vertex with outgoing pairs (bounded retries: sparse
+  // topologies can have many sinks).
+  VertexId current = -1;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    VertexId v =
+        static_cast<VertexId>(rng->NextBounded(static_cast<uint64_t>(n)));
+    if (!topology.OutNeighbors(v).empty()) {
+      current = v;
+      break;
+    }
+  }
+  if (current < 0) return 0;
+
+  const VertexId origin = current;
+  Flow flow = flow_sampler(rng);
+  Timestamp t = time_sampler(rng);
+  const int length =
+      1 + static_cast<int>(rng->NextBounded(
+              static_cast<uint64_t>(config.max_cascade_length)));
+
+  std::vector<VertexId> visited{current};
+  int64_t emitted = 0;
+  for (int step = 0; step < length; ++step) {
+    const std::vector<VertexId>& neighbors = topology.OutNeighbors(current);
+    if (neighbors.empty()) break;
+    VertexId next;
+    if (step >= 1 && rng->UniformDouble() < config.cycle_closure &&
+        topology.HasPair(current, origin) && origin != current) {
+      next = origin;  // close the cycle back to the cascade origin
+    } else {
+      // Prefer onward movement: forwarded flow rarely bounces back to a
+      // vertex it already passed (money mules, trip chains, reshares).
+      std::vector<VertexId> unvisited;
+      for (VertexId v : neighbors) {
+        if (std::find(visited.begin(), visited.end(), v) == visited.end()) {
+          unvisited.push_back(v);
+        }
+      }
+      if (!unvisited.empty() && rng->UniformDouble() < 0.85) {
+        next = unvisited[rng->NextBounded(unvisited.size())];
+      } else {
+        next = neighbors[rng->NextBounded(neighbors.size())];
+      }
+    }
+    visited.push_back(next);
+    if (t >= config.time_span) break;
+    Status s = graph->AddEdge(current, next, t, flow);
+    FLOWMOTIF_CHECK(s.ok()) << s.ToString();
+    ++emitted;
+    if (next == origin && step >= 1) break;  // cycle closed; cascade ends
+    current = next;
+    // Continuous flows decay slightly hop over hop; count-valued flows
+    // are forwarded unchanged (the same passengers/messages move on).
+    // Time advances by an exponential gap so consecutive hops usually
+    // fit a delta window.
+    if (!config.integer_flows) {
+      flow = std::max(0.01, flow * rng->UniformDouble(0.75, 1.0));
+    }
+    t += 1 + static_cast<Timestamp>(rng->Exponential(
+                 1.0 / static_cast<double>(config.cascade_gap_mean)));
+  }
+  return emitted;
+}
+
+}  // namespace
+
+InteractionGraph EmitInteractions(const Topology& topology,
+                                  const GeneratorConfig& config,
+                                  const FlowSampler& flow_sampler,
+                                  const TimeSampler& time_sampler, Rng* rng,
+                                  const FlowSampler& cascade_flow_sampler) {
+  InteractionGraph graph;
+  graph.EnsureVertices(topology.num_vertices());
+  if (topology.num_pairs() == 0) return graph;
+
+  const FlowSampler& cascade_sampler =
+      cascade_flow_sampler ? cascade_flow_sampler : flow_sampler;
+  while (graph.num_interactions() < config.num_interactions) {
+    if (rng->UniformDouble() < config.cascade_fraction) {
+      if (EmitCascade(topology, config, cascade_sampler, time_sampler, rng,
+                      &graph) > 0) {
+        continue;
+      }
+      // Fall through to background if the cascade could not start.
+    }
+    const auto& [u, v] = topology.pairs()[rng->NextBounded(
+        static_cast<uint64_t>(topology.num_pairs()))];
+    const Timestamp t = time_sampler(rng);
+    Status s = graph.AddEdge(u, v, t, flow_sampler(rng));
+    FLOWMOTIF_CHECK(s.ok()) << s.ToString();
+  }
+  return graph;
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,79 @@
+#include "gen/passenger_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace flowmotif {
+
+namespace {
+
+constexpr Timestamp kSecondsPerDay = 86400;
+
+/// Passengers per trip: small integers, mean ~1.9.
+Flow SamplePassengerFlow(Rng* rng) {
+  return static_cast<Flow>(1 + rng->Poisson(0.93));
+}
+
+/// Pickup times with a diurnal rhythm: a uniform day, then a time of day
+/// drawn from a morning (8-10h) or evening (17-20h) rush with background
+/// trips uniform across the day.
+TimeSampler DiurnalTimeSampler(Timestamp time_span) {
+  return [time_span](Rng* rng) {
+    const int64_t days = std::max<Timestamp>(1, time_span / kSecondsPerDay);
+    const Timestamp day =
+        static_cast<Timestamp>(rng->NextBounded(static_cast<uint64_t>(days)));
+    double second_of_day;
+    const double u = rng->UniformDouble();
+    if (u < 0.35) {
+      second_of_day = rng->Normal(9.0 * 3600, 3600);   // morning rush
+    } else if (u < 0.75) {
+      second_of_day = rng->Normal(18.5 * 3600, 4500);  // evening rush
+    } else {
+      second_of_day = rng->UniformDouble(0, kSecondsPerDay);
+    }
+    if (second_of_day < 0) second_of_day = 0;
+    if (second_of_day >= kSecondsPerDay) second_of_day = kSecondsPerDay - 1;
+    Timestamp t = day * kSecondsPerDay + static_cast<Timestamp>(second_of_day);
+    if (t >= time_span) t = time_span - 1;
+    return t;
+  };
+}
+
+}  // namespace
+
+InteractionGraph PassengerLikeGenerator::Generate() const {
+  Rng rng(config_.seed);
+  const int64_t n = config_.num_vertices;
+  Topology topology(n);
+
+  // Traffic corridors: small *disjoint* dense zone pockets (downtown
+  // clusters where trips run both ways between nearby zones) plus a
+  // residential -> hub -> commercial layered backbone. Cyclic structural
+  // matches exist inside the pockets, but cyclic *instances* stay rare
+  // because trip cascades almost never return to the origin within a
+  // window (cycle_closure is tiny and the diurnal time sampler spreads
+  // flows) — matching the paper's finding that acyclic motifs dominate
+  // passenger traffic. Pocket sizes tilt larger than the social
+  // networks' so 4- and 5-node chain counts stay comparable to the
+  // 3-node ones, like the paper's flat-ish passenger row in Table 4.
+  const int64_t pocket_budget = config_.num_pairs * 75 / 100;
+  std::vector<VertexId> leftover = AddDisjointPockets(
+      &topology,
+      {
+          PocketSpec{5, pocket_budget * 45 / 100 / 20, false},
+          PocketSpec{4, pocket_budget * 30 / 100 / 12, false},
+          PocketSpec{3, pocket_budget * 25 / 100 / 6, false},
+      },
+      &rng);
+  AddLayeredBackbone(&topology, leftover,
+                     config_.num_pairs - topology.num_pairs(), &rng);
+
+  GeneratorConfig config = config_;
+  config.integer_flows = true;
+  return EmitInteractions(topology, config, SamplePassengerFlow,
+                          DiurnalTimeSampler(config.time_span), &rng);
+}
+
+}  // namespace flowmotif

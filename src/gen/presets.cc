@@ -1,0 +1,137 @@
+#include "gen/presets.h"
+
+#include <algorithm>
+
+#include "gen/bitcoin_gen.h"
+#include "gen/facebook_gen.h"
+#include "gen/passenger_gen.h"
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+
+std::vector<DatasetPreset> BuildPresets() {
+  std::vector<DatasetPreset> presets;
+
+  {
+    DatasetPreset p;
+    p.kind = DatasetKind::kBitcoin;
+    p.name = "bitcoin";
+    p.config.num_vertices = 20000;
+    p.config.num_pairs = 45000;
+    p.config.num_interactions = 150000;
+    p.config.time_span = 9LL * 30 * 86400;  // ~9 months (Feb..Nov 2014)
+    p.config.cascade_gap_mean = 150;
+    p.config.cascade_fraction = 0.75;
+    p.config.max_cascade_length = 6;
+    p.config.cycle_closure = 0.3;
+    p.config.seed = 20140201;
+    p.default_delta = 600;
+    p.default_phi = 5.0;
+    p.delta_sweep = {200, 400, 600, 800, 1000};
+    p.phi_sweep = {5, 10, 15, 20, 25};
+    p.num_time_samples = 5;  // B1..B5
+    presets.push_back(p);
+  }
+
+  {
+    DatasetPreset p;
+    p.kind = DatasetKind::kFacebook;
+    p.name = "facebook";
+    p.config.num_vertices = 12000;
+    p.config.num_pairs = 30000;
+    p.config.num_interactions = 140000;
+    p.config.time_span = 6LL * 30 * 86400;  // ~6 months (Apr..Oct 2015)
+    p.config.cascade_gap_mean = 130;
+    p.config.cascade_fraction = 0.7;
+    p.config.max_cascade_length = 6;
+    p.config.cycle_closure = 0.3;
+    p.config.seed = 20150401;
+    p.default_delta = 600;
+    p.default_phi = 3.0;
+    p.delta_sweep = {200, 400, 600, 800, 1000};
+    p.phi_sweep = {3, 5, 7, 9, 11};
+    p.num_time_samples = 5;  // F1..F5
+    presets.push_back(p);
+  }
+
+  {
+    DatasetPreset p;
+    p.kind = DatasetKind::kPassenger;
+    p.name = "passenger";
+    p.config.num_vertices = 289;  // NYC taxi zones
+    p.config.num_pairs = 1500;
+    p.config.num_interactions = 14000;
+    p.config.time_span = 31LL * 86400;  // January 2018
+    p.config.cascade_gap_mean = 250;
+    p.config.cascade_fraction = 0.75;
+    p.config.max_cascade_length = 5;
+    p.config.cycle_closure = 0.05;  // trips rarely loop back quickly
+    p.config.seed = 20180101;
+    p.default_delta = 900;
+    p.default_phi = 2.0;
+    p.delta_sweep = {300, 600, 900, 1200, 1500};
+    p.phi_sweep = {1, 2, 3, 4, 5};
+    p.num_time_samples = 4;  // T1..T4
+    presets.push_back(p);
+  }
+
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<DatasetPreset>& AllPresets() {
+  static const std::vector<DatasetPreset>* const kPresets =
+      new std::vector<DatasetPreset>(BuildPresets());
+  return *kPresets;
+}
+
+const DatasetPreset& GetPreset(DatasetKind kind) {
+  for (const DatasetPreset& p : AllPresets()) {
+    if (p.kind == kind) return p;
+  }
+  FLOWMOTIF_CHECK(false) << "unknown dataset kind";
+  return AllPresets().front();  // unreachable
+}
+
+StatusOr<DatasetPreset> PresetByName(const std::string& name) {
+  for (const DatasetPreset& p : AllPresets()) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no dataset preset named '" + name +
+                          "' (expected bitcoin|facebook|passenger)");
+}
+
+TimeSeriesGraph GenerateDataset(const DatasetPreset& preset, double scale) {
+  FLOWMOTIF_CHECK_GT(scale, 0.0);
+  GeneratorConfig config = preset.config;
+  auto scaled = [scale](int64_t v) {
+    return std::max<int64_t>(1, static_cast<int64_t>(
+                                    static_cast<double>(v) * scale));
+  };
+  // The passenger zone set is fixed; other datasets scale their vertex
+  // sets. Downscaling below 1 shrinks every dimension so tests stay fast.
+  if (preset.kind != DatasetKind::kPassenger || scale < 1.0) {
+    config.num_vertices = scaled(config.num_vertices);
+  }
+  config.num_pairs = scaled(config.num_pairs);
+  config.num_interactions = scaled(config.num_interactions);
+
+  InteractionGraph multigraph;
+  switch (preset.kind) {
+    case DatasetKind::kBitcoin:
+      multigraph = BitcoinLikeGenerator(config).Generate();
+      break;
+    case DatasetKind::kFacebook:
+      multigraph = FacebookLikeGenerator(config).Generate();
+      break;
+    case DatasetKind::kPassenger:
+      multigraph = PassengerLikeGenerator(config).Generate();
+      break;
+  }
+  return TimeSeriesGraph::Build(multigraph);
+}
+
+}  // namespace flowmotif

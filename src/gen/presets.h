@@ -1,0 +1,50 @@
+#ifndef FLOWMOTIF_GEN_PRESETS_H_
+#define FLOWMOTIF_GEN_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+#include "graph/time_series_graph.h"
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// The three evaluation datasets of the paper (Sec. 6.1).
+enum class DatasetKind { kBitcoin, kFacebook, kPassenger };
+
+/// A dataset preset bundles the generator configuration that stands in
+/// for one of the paper's real networks together with the experiment
+/// parameters the paper uses on it: the default delta / phi, the sweep
+/// values of Figs. 9-10, and the number of time-prefix samples of
+/// Fig. 13 (B1..B5, F1..F5, T1..T4).
+struct DatasetPreset {
+  DatasetKind kind;
+  std::string name;                   // "bitcoin" | "facebook" | "passenger"
+  GeneratorConfig config;             // scale-1 generator parameters
+  Timestamp default_delta = 0;        // paper: 600 / 600 / 900 seconds
+  Flow default_phi = 0.0;             // paper: 5 / 3 / 2
+  std::vector<Timestamp> delta_sweep; // Fig. 9 x-axis
+  std::vector<Flow> phi_sweep;        // Fig. 10 x-axis
+  int num_time_samples = 5;           // Fig. 13 prefixes
+};
+
+/// Returns the preset for a dataset kind.
+const DatasetPreset& GetPreset(DatasetKind kind);
+
+/// All three presets in the paper's order.
+const std::vector<DatasetPreset>& AllPresets();
+
+/// Lookup by name ("bitcoin", "facebook", "passenger").
+StatusOr<DatasetPreset> PresetByName(const std::string& name);
+
+/// Generates the dataset at the given scale: vertex / pair / interaction
+/// counts are multiplied by `scale` (the passenger zone count stays fixed
+/// at its scale-1 value for scale >= 1 since the paper's zone set is
+/// fixed; interactions still scale). Returns the built time-series graph.
+TimeSeriesGraph GenerateDataset(const DatasetPreset& preset,
+                                double scale = 1.0);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GEN_PRESETS_H_

@@ -1,0 +1,67 @@
+#include "graph/edge_series.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+EdgeSeries::EdgeSeries(std::vector<Interaction> interactions) {
+  std::sort(interactions.begin(), interactions.end());
+  times_.reserve(interactions.size());
+  flows_.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    FLOWMOTIF_CHECK_GT(x.f, 0.0) << "flows must be positive";
+    times_.push_back(x.t);
+    flows_.push_back(x.f);
+  }
+  RebuildPrefix();
+}
+
+void EdgeSeries::RebuildPrefix() {
+  prefix_.assign(times_.size() + 1, 0.0);
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + flows_[i];
+  }
+}
+
+size_t EdgeSeries::LowerBound(Timestamp t) const {
+  return static_cast<size_t>(
+      std::lower_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+size_t EdgeSeries::UpperBound(Timestamp t) const {
+  return static_cast<size_t>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+Flow EdgeSeries::FlowInOpenClosed(Timestamp lo, Timestamp hi) const {
+  if (lo >= hi) return 0.0;
+  size_t first = UpperBound(lo);
+  size_t last = UpperBound(hi);
+  if (first >= last) return 0.0;
+  return prefix_[last] - prefix_[first];
+}
+
+Flow EdgeSeries::FlowInClosed(Timestamp lo, Timestamp hi) const {
+  if (lo > hi) return 0.0;
+  size_t first = LowerBound(lo);
+  size_t last = UpperBound(hi);
+  if (first >= last) return 0.0;
+  return prefix_[last] - prefix_[first];
+}
+
+bool EdgeSeries::HasElementInOpenClosed(Timestamp lo, Timestamp hi) const {
+  if (lo >= hi) return false;
+  size_t first = UpperBound(lo);
+  return first < size() && times_[first] <= hi;
+}
+
+void EdgeSeries::ReplaceFlows(const std::vector<Flow>& new_flows) {
+  FLOWMOTIF_CHECK_EQ(new_flows.size(), flows_.size());
+  for (Flow f : new_flows) FLOWMOTIF_CHECK_GT(f, 0.0);
+  flows_ = new_flows;
+  RebuildPrefix();
+}
+
+}  // namespace flowmotif

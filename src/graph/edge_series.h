@@ -1,0 +1,76 @@
+#ifndef FLOWMOTIF_GRAPH_EDGE_SERIES_H_
+#define FLOWMOTIF_GRAPH_EDGE_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace flowmotif {
+
+/// The interaction time series R(u, v) on one edge of the time-series
+/// graph: all (t, f) elements from u to v, ordered by time.
+///
+/// Flow prefix sums are maintained so that the aggregated flow of any
+/// contiguous index range — the quantity `flow([tj, ti], k)` of Eq. 2 and
+/// the phi-checks of Algorithm 1 — costs O(1) after an O(log n) binary
+/// search by time.
+class EdgeSeries {
+ public:
+  EdgeSeries() = default;
+
+  /// Builds from interactions; sorts them by (time, flow).
+  explicit EdgeSeries(std::vector<Interaction> interactions);
+
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  Timestamp time(size_t i) const { return times_[i]; }
+  Flow flow(size_t i) const { return flows_[i]; }
+  Interaction at(size_t i) const { return {times_[i], flows_[i]}; }
+
+  const std::vector<Timestamp>& times() const { return times_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  /// Sum of flows over the inclusive index range [i, j]; 0 if i > j.
+  Flow FlowSum(size_t i, size_t j) const {
+    if (i > j || j >= size()) return 0.0;
+    return prefix_[j + 1] - prefix_[i];
+  }
+
+  /// Total flow of the whole series.
+  Flow TotalFlow() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
+
+  /// Index of the first element with time >= t (== size() if none).
+  size_t LowerBound(Timestamp t) const;
+
+  /// Index of the first element with time > t (== size() if none).
+  size_t UpperBound(Timestamp t) const;
+
+  /// Sum of flows of elements with lo < time <= hi (half-open window used
+  /// by the enumerator's recursion) — 0 when the range is empty.
+  Flow FlowInOpenClosed(Timestamp lo, Timestamp hi) const;
+
+  /// Sum of flows of elements with lo <= time <= hi (closed window used by
+  /// the DP module's Eq. 2).
+  Flow FlowInClosed(Timestamp lo, Timestamp hi) const;
+
+  /// True iff some element has lo < time <= hi.
+  bool HasElementInOpenClosed(Timestamp lo, Timestamp hi) const;
+
+  /// Replaces the flow values (used by the significance module's flow
+  /// permutation, which keeps structure and timestamps fixed) and rebuilds
+  /// the prefix sums. `new_flows.size()` must equal size().
+  void ReplaceFlows(const std::vector<Flow>& new_flows);
+
+ private:
+  void RebuildPrefix();
+
+  std::vector<Timestamp> times_;
+  std::vector<Flow> flows_;
+  std::vector<double> prefix_;  // prefix_[i] = sum of flows_[0..i-1]
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GRAPH_EDGE_SERIES_H_

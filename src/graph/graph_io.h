@@ -1,0 +1,33 @@
+#ifndef FLOWMOTIF_GRAPH_GRAPH_IO_H_
+#define FLOWMOTIF_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/interaction_graph.h"
+#include "graph/time_series_graph.h"
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// Text edge-list format, one interaction per line:
+///
+///   src dst timestamp flow
+///
+/// separated by whitespace; '#'-prefixed lines are comments. This is the
+/// on-disk interchange format for all example programs and benches.
+
+/// Loads a multigraph from `path`.
+StatusOr<InteractionGraph> LoadInteractionGraph(const std::string& path);
+
+/// Saves the multigraph to `path` (one line per interaction).
+Status SaveInteractionGraph(const InteractionGraph& graph,
+                            const std::string& path);
+
+/// Saves a time-series graph by expanding each series back to interaction
+/// lines. Round-trips through LoadInteractionGraph + Build.
+Status SaveTimeSeriesGraph(const TimeSeriesGraph& graph,
+                           const std::string& path);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GRAPH_GRAPH_IO_H_

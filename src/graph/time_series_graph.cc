@@ -1,0 +1,151 @@
+#include "graph/time_series_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+TimeSeriesGraph TimeSeriesGraph::Build(const InteractionGraph& multigraph) {
+  TimeSeriesGraph graph;
+  const int64_t n = multigraph.num_vertices();
+
+  // Sort raw edges by (src, dst, t, f) and slice into per-pair series.
+  std::vector<InteractionGraph::Edge> edges = multigraph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const InteractionGraph::Edge& a,
+               const InteractionGraph::Edge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.t != b.t) return a.t < b.t;
+              return a.f < b.f;
+            });
+
+  graph.pairs_.clear();
+  size_t i = 0;
+  while (i < edges.size()) {
+    size_t j = i;
+    std::vector<Interaction> series;
+    while (j < edges.size() && edges[j].src == edges[i].src &&
+           edges[j].dst == edges[i].dst) {
+      series.push_back(Interaction{edges[j].t, edges[j].f});
+      ++j;
+    }
+    graph.pairs_.push_back(
+        PairEdge{edges[i].src, edges[i].dst, EdgeSeries(std::move(series))});
+    i = j;
+  }
+
+  // CSR offsets over the sorted pair list.
+  graph.out_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const PairEdge& pe : graph.pairs_) {
+    ++graph.out_begin_[static_cast<size_t>(pe.src) + 1];
+  }
+  for (size_t v = 1; v < graph.out_begin_.size(); ++v) {
+    graph.out_begin_[v] += graph.out_begin_[v - 1];
+  }
+
+  // Reverse index: pair indices grouped by destination (counting sort;
+  // the (dst, src) order follows from the stable pass over pairs sorted
+  // by (src, dst)).
+  graph.in_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const PairEdge& pe : graph.pairs_) {
+    ++graph.in_begin_[static_cast<size_t>(pe.dst) + 1];
+  }
+  for (size_t v = 1; v < graph.in_begin_.size(); ++v) {
+    graph.in_begin_[v] += graph.in_begin_[v - 1];
+  }
+  graph.in_index_.assign(graph.pairs_.size(), 0);
+  std::vector<size_t> cursor(graph.in_begin_.begin(),
+                             graph.in_begin_.end() - 1);
+  for (size_t p = 0; p < graph.pairs_.size(); ++p) {
+    graph.in_index_[cursor[static_cast<size_t>(graph.pairs_[p].dst)]++] = p;
+  }
+  return graph;
+}
+
+const EdgeSeries* TimeSeriesGraph::FindSeries(VertexId u, VertexId v) const {
+  int64_t idx = FindPairIndex(u, v);
+  return idx < 0 ? nullptr : &pairs_[static_cast<size_t>(idx)].series;
+}
+
+int64_t TimeSeriesGraph::FindPairIndex(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices()) return -1;
+  size_t lo = OutBegin(u);
+  size_t hi = OutEnd(u);
+  // Binary search for dst == v within u's contiguous out-range.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (pairs_[mid].dst < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < OutEnd(u) && pairs_[lo].dst == v) return static_cast<int64_t>(lo);
+  return -1;
+}
+
+TimeSeriesGraph::Stats TimeSeriesGraph::ComputeStats() const {
+  Stats stats;
+  stats.num_vertices = num_vertices();
+  stats.num_connected_pairs = num_pairs();
+  double total_flow = 0.0;
+  Timestamp min_t = std::numeric_limits<Timestamp>::max();
+  Timestamp max_t = std::numeric_limits<Timestamp>::min();
+  for (const PairEdge& pe : pairs_) {
+    stats.num_interactions += static_cast<int64_t>(pe.series.size());
+    total_flow += pe.series.TotalFlow();
+    if (!pe.series.empty()) {
+      min_t = std::min(min_t, pe.series.time(0));
+      max_t = std::max(max_t, pe.series.time(pe.series.size() - 1));
+    }
+  }
+  if (stats.num_interactions > 0) {
+    stats.avg_flow_per_edge =
+        total_flow / static_cast<double>(stats.num_interactions);
+    stats.min_time = min_t;
+    stats.max_time = max_t;
+  }
+  return stats;
+}
+
+TimeSeriesGraph TimeSeriesGraph::WithPermutedFlows(Rng* rng) const {
+  FLOWMOTIF_CHECK(rng != nullptr);
+  // Collect every flow value in deterministic (pair, index) order, shuffle
+  // the multiset, and write it back in the same order. Structure and
+  // timestamps are untouched, exactly as in Sec. 6.3.
+  std::vector<Flow> all_flows;
+  for (const PairEdge& pe : pairs_) {
+    for (size_t i = 0; i < pe.series.size(); ++i) {
+      all_flows.push_back(pe.series.flow(i));
+    }
+  }
+  rng->Shuffle(&all_flows);
+
+  TimeSeriesGraph out = *this;
+  size_t cursor = 0;
+  for (PairEdge& pe : out.pairs_) {
+    std::vector<Flow> new_flows(pe.series.size());
+    for (size_t i = 0; i < new_flows.size(); ++i) {
+      new_flows[i] = all_flows[cursor++];
+    }
+    pe.series.ReplaceFlows(new_flows);
+  }
+  FLOWMOTIF_CHECK_EQ(cursor, all_flows.size());
+  return out;
+}
+
+std::string TimeSeriesGraph::DebugString() const {
+  Stats s = ComputeStats();
+  std::ostringstream os;
+  os << "TimeSeriesGraph{vertices=" << s.num_vertices
+     << " pairs=" << s.num_connected_pairs
+     << " interactions=" << s.num_interactions
+     << " avg_flow=" << s.avg_flow_per_edge << "}";
+  return os.str();
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,104 @@
+#ifndef FLOWMOTIF_GRAPH_TIME_SERIES_GRAPH_H_
+#define FLOWMOTIF_GRAPH_TIME_SERIES_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_series.h"
+#include "graph/interaction_graph.h"
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace flowmotif {
+
+/// Immutable time-series graph GT(V, ET): all multigraph edges between an
+/// ordered vertex pair are merged into one edge carrying the interaction
+/// time series R(u, v) (paper Sec. 4, Fig. 5).
+///
+/// Layout is CSR-like: pair edges are stored sorted by (src, dst) with a
+/// per-vertex offset table, so out-neighbor scans are contiguous and pair
+/// lookup is a binary search within the source's range.
+///
+/// The class is immutable after Build and therefore safe for concurrent
+/// readers.
+class TimeSeriesGraph {
+ public:
+  /// One edge of GT with its time series.
+  struct PairEdge {
+    VertexId src;
+    VertexId dst;
+    EdgeSeries series;
+  };
+
+  /// Aggregate statistics (Table 3 of the paper).
+  struct Stats {
+    int64_t num_vertices = 0;
+    int64_t num_connected_pairs = 0;  // |ET|
+    int64_t num_interactions = 0;     // |E| of the multigraph
+    double avg_flow_per_edge = 0.0;   // mean interaction flow
+    Timestamp min_time = 0;
+    Timestamp max_time = 0;
+  };
+
+  TimeSeriesGraph() = default;
+
+  /// Builds from a multigraph. Groups edges by (src, dst), sorts each
+  /// series by time, and assembles the CSR index.
+  static TimeSeriesGraph Build(const InteractionGraph& multigraph);
+
+  int64_t num_vertices() const {
+    return static_cast<int64_t>(out_begin_.empty() ? 0
+                                                   : out_begin_.size() - 1);
+  }
+  int64_t num_pairs() const { return static_cast<int64_t>(pairs_.size()); }
+
+  /// All pair edges, sorted by (src, dst).
+  const std::vector<PairEdge>& pairs() const { return pairs_; }
+  const PairEdge& pair(size_t i) const { return pairs_[i]; }
+
+  /// Index range [OutBegin(v), OutEnd(v)) of pair edges with source v.
+  size_t OutBegin(VertexId v) const { return out_begin_[v]; }
+  size_t OutEnd(VertexId v) const { return out_begin_[v + 1]; }
+  int64_t OutDegree(VertexId v) const {
+    return static_cast<int64_t>(OutEnd(v) - OutBegin(v));
+  }
+
+  /// Reverse adjacency: for k in [InBegin(v), InEnd(v)),
+  /// pair(InPairIndex(k)) is an edge with destination v, ordered by
+  /// source. Used by the general-motif matcher to bind a new source
+  /// vertex of a fan-in edge.
+  size_t InBegin(VertexId v) const { return in_begin_[v]; }
+  size_t InEnd(VertexId v) const { return in_begin_[v + 1]; }
+  size_t InPairIndex(size_t k) const { return in_index_[k]; }
+  int64_t InDegree(VertexId v) const {
+    return static_cast<int64_t>(InEnd(v) - InBegin(v));
+  }
+
+  /// The series from u to v, or nullptr if the pair is not connected.
+  const EdgeSeries* FindSeries(VertexId u, VertexId v) const;
+
+  /// Index of the pair edge (u, v) in pairs(), or -1.
+  int64_t FindPairIndex(VertexId u, VertexId v) const;
+
+  /// Dataset statistics (Table 3).
+  Stats ComputeStats() const;
+
+  /// Returns a copy with the same structure and timestamps but with the
+  /// multiset of flow values randomly permuted across all interactions —
+  /// the randomization used for the significance analysis (Sec. 6.3).
+  TimeSeriesGraph WithPermutedFlows(Rng* rng) const;
+
+  /// Human-readable one-line summary for logs.
+  std::string DebugString() const;
+
+ private:
+  std::vector<PairEdge> pairs_;       // sorted by (src, dst)
+  std::vector<size_t> out_begin_;     // size num_vertices()+1
+  std::vector<size_t> in_index_;      // pair indices sorted by (dst, src)
+  std::vector<size_t> in_begin_;      // size num_vertices()+1
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GRAPH_TIME_SERIES_GRAPH_H_

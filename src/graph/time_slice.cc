@@ -1,0 +1,37 @@
+#include "graph/time_slice.h"
+
+#include "graph/interaction_graph.h"
+#include "util/logging.h"
+
+namespace flowmotif {
+
+TimeSeriesGraph SliceByMaxTime(const TimeSeriesGraph& graph,
+                               Timestamp max_time) {
+  InteractionGraph multigraph;
+  multigraph.EnsureVertices(graph.num_vertices());
+  for (const TimeSeriesGraph::PairEdge& pe : graph.pairs()) {
+    for (size_t i = 0; i < pe.series.size(); ++i) {
+      if (pe.series.time(i) > max_time) break;  // series sorted by time
+      Status s =
+          multigraph.AddEdge(pe.src, pe.dst, pe.series.time(i),
+                             pe.series.flow(i));
+      FLOWMOTIF_CHECK(s.ok()) << s.ToString();
+    }
+  }
+  return TimeSeriesGraph::Build(multigraph);
+}
+
+std::vector<Timestamp> EqualTimePrefixes(const TimeSeriesGraph& graph,
+                                         int k) {
+  FLOWMOTIF_CHECK_GT(k, 0);
+  TimeSeriesGraph::Stats stats = graph.ComputeStats();
+  std::vector<Timestamp> cuts;
+  cuts.reserve(static_cast<size_t>(k));
+  const Timestamp span = stats.max_time - stats.min_time;
+  for (int i = 1; i <= k; ++i) {
+    cuts.push_back(stats.min_time + span * i / k);
+  }
+  return cuts;
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,25 @@
+#ifndef FLOWMOTIF_GRAPH_TIME_SLICE_H_
+#define FLOWMOTIF_GRAPH_TIME_SLICE_H_
+
+#include <vector>
+
+#include "graph/time_series_graph.h"
+#include "graph/types.h"
+
+namespace flowmotif {
+
+/// Returns the sub-graph containing only interactions with
+/// t <= `max_time` (vertex set unchanged). This realizes the paper's
+/// time-prefix samples B1..B5 / F1..F5 / T1..T4 for the scalability
+/// experiment (Sec. 6.2.4, Fig. 13).
+TimeSeriesGraph SliceByMaxTime(const TimeSeriesGraph& graph,
+                               Timestamp max_time);
+
+/// Cut points that split [min_time, max_time] of `graph` into `k`
+/// prefixes of equal time coverage; element i is the max_time of prefix
+/// sample i+1 (the last equals the full span).
+std::vector<Timestamp> EqualTimePrefixes(const TimeSeriesGraph& graph, int k);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GRAPH_TIME_SLICE_H_

@@ -1,0 +1,43 @@
+#ifndef FLOWMOTIF_GRAPH_TYPES_H_
+#define FLOWMOTIF_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace flowmotif {
+
+/// Vertex identifier. Vertices of a graph are dense: 0 .. num_vertices-1.
+using VertexId = int32_t;
+
+/// Interaction timestamp. The paper's time domain is continuous; we use
+/// 64-bit integer ticks (e.g. seconds) for exact, platform-independent
+/// comparisons. Duration constraints (delta) use the same unit.
+using Timestamp = int64_t;
+
+/// Flow transferred by one interaction (money, messages, passengers, ...).
+/// Always positive.
+using Flow = double;
+
+/// One timestamped flow transfer on an edge: the (t, f) element of the
+/// paper (Sec. 3).
+struct Interaction {
+  Timestamp t = 0;
+  Flow f = 0.0;
+
+  friend bool operator==(const Interaction& a, const Interaction& b) {
+    return a.t == b.t && a.f == b.f;
+  }
+  /// Orders by time, breaking ties by flow so sorting is deterministic.
+  friend bool operator<(const Interaction& a, const Interaction& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.f < b.f;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interaction& x) {
+  return os << "(" << x.t << "," << x.f << ")";
+}
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_GRAPH_TYPES_H_

@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace flowmotif {
+
+namespace {
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == delim) {
+      fields.push_back(Trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(Trim(current));
+  return fields;
+}
+
+struct CsvReader::Impl {
+  std::ifstream stream;
+};
+
+CsvReader::CsvReader(const std::string& path, char delim)
+    : impl_(new Impl), delim_(delim) {
+  impl_->stream.open(path);
+  if (!impl_->stream.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+CsvReader::~CsvReader() { delete impl_; }
+
+bool CsvReader::NextRow(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  std::string line;
+  while (std::getline(impl_->stream, line)) {
+    ++line_number_;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    *fields = SplitCsvLine(trimmed, delim_);
+    return true;
+  }
+  return false;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream stream;
+};
+
+CsvWriter::CsvWriter(const std::string& path, char delim)
+    : impl_(new Impl), delim_(delim) {
+  impl_->stream.open(path, std::ios::trunc);
+  if (!impl_->stream.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) impl_->stream << delim_;
+    impl_->stream << fields[i];
+  }
+  impl_->stream << '\n';
+}
+
+void CsvWriter::WriteComment(const std::string& comment) {
+  if (!status_.ok()) return;
+  impl_->stream << "# " << comment << '\n';
+}
+
+Status CsvWriter::Close() {
+  if (!status_.ok()) return status_;
+  impl_->stream.flush();
+  if (!impl_->stream.good()) {
+    status_ = Status::IoError("write failure on close");
+  }
+  impl_->stream.close();
+  return status_;
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,72 @@
+#ifndef FLOWMOTIF_UTIL_CSV_H_
+#define FLOWMOTIF_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// Splits one line on `delim`, trimming surrounding whitespace from every
+/// field. Quoting is not supported: the graph edge-list files this library
+/// reads and writes are plain numeric tables.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim);
+
+/// A streaming reader for delimiter-separated tables. Skips blank lines
+/// and lines starting with '#'.
+class CsvReader {
+ public:
+  /// Opens `path`; check status() before use.
+  CsvReader(const std::string& path, char delim);
+  ~CsvReader();
+
+  CsvReader(const CsvReader&) = delete;
+  CsvReader& operator=(const CsvReader&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Reads the next data row into `fields`. Returns false at end of file.
+  bool NextRow(std::vector<std::string>* fields);
+
+  /// 1-based line number of the row most recently returned.
+  int64_t line_number() const { return line_number_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  Status status_;
+  char delim_;
+  int64_t line_number_ = 0;
+};
+
+/// A writer for delimiter-separated tables.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, char delim);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; fields are joined with the delimiter.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes a '#'-prefixed comment line.
+  void WriteComment(const std::string& comment);
+
+  /// Flushes and closes; returns the final status.
+  Status Close();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  Status status_;
+  char delim_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_UTIL_CSV_H_

@@ -1,0 +1,75 @@
+#ifndef FLOWMOTIF_UTIL_FLAGS_H_
+#define FLOWMOTIF_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flowmotif {
+
+/// A minimal command-line flag parser for the example programs and bench
+/// harnesses. Supports `--name=value`, `--name value` and boolean
+/// `--name` / `--no-name` forms. Unrecognized flags are an error;
+/// positional arguments are collected in order.
+///
+/// Usage:
+///   FlagParser flags;
+///   flags.AddInt64("scale", 100, "dataset scale percent");
+///   flags.AddString("dataset", "bitcoin", "which dataset to use");
+///   Status s = flags.Parse(argc, argv);
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Registers flags. Registering the same name twice aborts.
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; abort if the flag was never registered (programmer
+  /// error) so misuse is caught in tests immediately.
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable help text listing all registered flags.
+  std::string HelpString() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(Flag* flag, const std::string& text,
+                       const std::string& name);
+  const Flag& GetOrDie(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_UTIL_FLAGS_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << basename << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (void)level_;
+  std::cerr << stream_.str() << std::endl;
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[F " << basename << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace flowmotif

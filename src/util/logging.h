@@ -1,0 +1,78 @@
+#ifndef FLOWMOTIF_UTIL_LOGGING_H_
+#define FLOWMOTIF_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace flowmotif {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is actually printed. Defaults to
+/// kInfo. Thread-compatible: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flowmotif
+
+#define FLOWMOTIF_LOG(level)                                              \
+  if (::flowmotif::LogLevel::k##level < ::flowmotif::GetLogLevel()) {     \
+  } else                                                                  \
+    ::flowmotif::internal::LogMessage(::flowmotif::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)                 \
+        .stream()
+
+/// Aborts with a message when `condition` is false. Active in all build
+/// modes: the enumeration algorithms rely on these invariants.
+#define FLOWMOTIF_CHECK(condition)                                    \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::flowmotif::internal::FatalLogMessage(__FILE__, __LINE__)        \
+            .stream()                                                 \
+        << "Check failed: " #condition " "
+
+#define FLOWMOTIF_CHECK_EQ(a, b) FLOWMOTIF_CHECK((a) == (b))
+#define FLOWMOTIF_CHECK_NE(a, b) FLOWMOTIF_CHECK((a) != (b))
+#define FLOWMOTIF_CHECK_LT(a, b) FLOWMOTIF_CHECK((a) < (b))
+#define FLOWMOTIF_CHECK_LE(a, b) FLOWMOTIF_CHECK((a) <= (b))
+#define FLOWMOTIF_CHECK_GT(a, b) FLOWMOTIF_CHECK((a) > (b))
+#define FLOWMOTIF_CHECK_GE(a, b) FLOWMOTIF_CHECK((a) >= (b))
+
+#endif  // FLOWMOTIF_UTIL_LOGGING_H_

@@ -1,0 +1,164 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FLOWMOTIF_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FLOWMOTIF_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Exponential(double rate) {
+  FLOWMOTIF_CHECK_GT(rate, 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double x_min, double alpha) {
+  FLOWMOTIF_CHECK_GT(x_min, 0.0);
+  FLOWMOTIF_CHECK_GT(alpha, 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  FLOWMOTIF_CHECK_GT(n, 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double acc = 0.0;
+    for (int64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[static_cast<size_t>(k - 1)] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+  }
+  double u = UniformDouble();
+  // First index whose CDF value is >= u.
+  size_t lo = 0, hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int64_t>(lo) + 1;
+}
+
+int64_t Rng::Poisson(double mean) {
+  FLOWMOTIF_CHECK_GT(mean, 0.0);
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    int64_t count = -1;
+    do {
+      ++count;
+      product *= UniformDouble();
+    } while (product > limit);
+    return count;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  double draw = Normal(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<int64_t>(draw + 0.5);
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double s) {
+  FLOWMOTIF_CHECK_GT(n, 0);
+  cdf_.assign(static_cast<size_t>(n), 0.0);
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[static_cast<size_t>(k - 1)] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int64_t>(lo) + 1;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace flowmotif {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+SampleSummary Summarize(const std::vector<double>& values) {
+  SampleSummary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = Mean(values);
+  s.stddev = StdDev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.median = Percentile(values, 50.0);
+  s.q1 = Percentile(values, 25.0);
+  s.q3 = Percentile(values, 75.0);
+  return s;
+}
+
+double ZScore(double observed, const std::vector<double>& sample) {
+  double mean = Mean(sample);
+  double sd = StdDev(sample);
+  if (sd == 0.0) {
+    if (observed == mean) return 0.0;
+    return observed > mean ? std::numeric_limits<double>::infinity()
+                           : -std::numeric_limits<double>::infinity();
+  }
+  return (observed - mean) / sd;
+}
+
+double EmpiricalPValue(double observed, const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  size_t at_least = 0;
+  for (double v : sample) {
+    if (v >= observed) ++at_least;
+  }
+  return static_cast<double>(at_least) / static_cast<double>(sample.size());
+}
+
+std::string ToString(const SampleSummary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " sd=" << s.stddev << " ["
+     << s.min << "," << s.max << "]";
+  return os.str();
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,51 @@
+#ifndef FLOWMOTIF_UTIL_STATS_H_
+#define FLOWMOTIF_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowmotif {
+
+/// Summary statistics of a sample, used by the significance analysis
+/// (Fig. 14) and by the dataset generators' self-checks.
+struct SampleSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;  // 25th percentile (box-plot lower hinge)
+  double q3 = 0.0;  // 75th percentile (box-plot upper hinge)
+};
+
+/// Computes mean, population standard deviation, quartiles and extrema of
+/// `values`. Returns a zeroed summary for an empty sample.
+SampleSummary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for samples of size < 2.
+double StdDev(const std::vector<double>& values);
+
+/// The z-score of `observed` against the sample mean/stddev:
+/// (observed - mean) / stddev. Returns +/-inf when stddev == 0 and the
+/// observation differs from the mean, and 0 when it equals the mean — the
+/// paper's significance metric (Sec. 6.3).
+double ZScore(double observed, const std::vector<double>& sample);
+
+/// Fraction of sample values that are >= observed: the empirical p-value
+/// used in Sec. 6.3.
+double EmpiricalPValue(double observed, const std::vector<double>& sample);
+
+/// Percentile via linear interpolation; `p` in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+/// Renders a summary like "n=20 mean=12.1 sd=1.9 [10,15]" for logs.
+std::string ToString(const SampleSummary& s);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_UTIL_STATS_H_

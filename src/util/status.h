@@ -1,0 +1,121 @@
+#ifndef FLOWMOTIF_UTIL_STATUS_H_
+#define FLOWMOTIF_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace flowmotif {
+
+/// Error categories used across the library. The library does not use
+/// exceptions; fallible operations return a Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IO_ERROR", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+///
+/// Usage:
+///   Status s = graph.AddEdge(u, v, t, f);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with
+  /// a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string()
+                                                      : std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. The value is only
+/// accessible when ok(). T need not be default-constructible.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK) or from an error Status; this
+  /// mirrors absl::StatusOr and keeps call sites readable.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flowmotif
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define FLOWMOTIF_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::flowmotif::Status _fm_status = (expr);             \
+    if (!_fm_status.ok()) return _fm_status;             \
+  } while (0)
+
+#endif  // FLOWMOTIF_UTIL_STATUS_H_

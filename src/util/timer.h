@@ -1,0 +1,40 @@
+#ifndef FLOWMOTIF_UTIL_TIMER_H_
+#define FLOWMOTIF_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flowmotif {
+
+/// A simple wall-clock stopwatch used by benchmarks and the enumeration
+/// drivers to report phase timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_UTIL_TIMER_H_

@@ -1,0 +1,138 @@
+// Tests for the ablation switches of EnumerationOptions: they must change
+// only the amount of work (and the redundancy bookkeeping), never the
+// reported instance set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/motif_catalog.h"
+#include "graph/interaction_graph.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::PaperFig7Graph;
+
+InteractionGraph RandomMultigraph(uint64_t seed) {
+  Rng rng(seed);
+  InteractionGraph g;
+  g.EnsureVertices(8);
+  for (int i = 0; i < 150; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(8));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(8));
+    if (u == v) continue;
+    (void)g.AddEdge(u, v, static_cast<Timestamp>(rng.NextBounded(120)),
+                    1.0 + static_cast<Flow>(rng.NextBounded(9)));
+  }
+  return g;
+}
+
+std::vector<MotifInstance> Collect(const TimeSeriesGraph& g,
+                                   const Motif& motif,
+                                   const EnumerationOptions& options) {
+  FlowMotifEnumerator enumerator(g, motif, options);
+  std::vector<MotifInstance> out = enumerator.CollectAll();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AblationOptionsTest, NoPrefixPhiPruningKeepsResults) {
+  for (uint64_t seed : {31u, 32u}) {
+    TimeSeriesGraph g = TimeSeriesGraph::Build(RandomMultigraph(seed));
+    for (int motif_idx : {0, 1, 4}) {
+      const Motif& motif = MotifCatalog::All()[static_cast<size_t>(motif_idx)];
+      EnumerationOptions options;
+      options.delta = 30;
+      options.phi = 6.0;
+      std::vector<MotifInstance> pruned = Collect(g, motif, options);
+
+      options.ablation_no_prefix_phi_pruning = true;
+      std::vector<MotifInstance> unpruned = Collect(g, motif, options);
+      EXPECT_EQ(pruned, unpruned) << motif.name() << " seed=" << seed;
+    }
+  }
+}
+
+TEST(AblationOptionsTest, NoPrefixPhiPruningReportsDeferredPrunes) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  Motif m33 = *Motif::FromSpanningPath({0, 1, 2, 0});
+  EnumerationOptions options;
+  options.delta = 10;
+  options.phi = 5.0;
+  options.ablation_no_prefix_phi_pruning = true;
+  FlowMotifEnumerator enumerator(g, m33, options);
+  EnumerationResult result = enumerator.Run();
+  // The Fig. 7 match has exactly one phi=5 instance; deferred pruning
+  // still rejects the sub-phi complete instances at emission.
+  EXPECT_EQ(result.num_instances, 1);
+  EXPECT_GT(result.num_phi_prunes, 0);
+}
+
+TEST(AblationOptionsTest, NoWindowSkipKeepsNonRedundantCount) {
+  for (uint64_t seed : {41u, 42u}) {
+    TimeSeriesGraph g = TimeSeriesGraph::Build(RandomMultigraph(seed));
+    for (int motif_idx : {0, 1}) {
+      const Motif& motif = MotifCatalog::All()[static_cast<size_t>(motif_idx)];
+      EnumerationOptions options;
+      options.delta = 30;
+      options.phi = 0.0;
+      FlowMotifEnumerator baseline(g, motif, options);
+      EnumerationResult with_skip = baseline.Run();
+
+      options.ablation_no_window_skip = true;
+      FlowMotifEnumerator ablated(g, motif, options);
+      EnumerationResult without_skip = ablated.Run();
+
+      // Every instance beyond the baseline's is flagged redundant.
+      EXPECT_EQ(without_skip.num_instances -
+                    without_skip.num_redundant_instances,
+                with_skip.num_instances)
+          << motif.name() << " seed=" << seed;
+      EXPECT_GE(without_skip.num_windows_processed,
+                with_skip.num_windows_processed);
+    }
+  }
+}
+
+TEST(AblationOptionsTest, SkippedWindowInstancesAreDuplicatesOrNonMaximal) {
+  // On Fig. 7 the skipped windows [13,23] and [18,28] must not produce
+  // any instance the processed windows did not (the paper's redundancy
+  // argument): every redundant emission is either an exact duplicate or
+  // a sub-instance of a kept one.
+  TimeSeriesGraph g = PaperFig7Graph();
+  Motif m33 = *Motif::FromSpanningPath({0, 1, 2, 0});
+  EnumerationOptions options;
+  options.delta = 10;
+  options.phi = 0.0;
+
+  FlowMotifEnumerator baseline(g, m33, options);
+  std::vector<MotifInstance> kept = baseline.CollectAll();
+
+  options.ablation_no_window_skip = true;
+  FlowMotifEnumerator ablated(g, m33, options);
+  ablated.Run([&](const InstanceView& view) {
+    MotifInstance instance = view.Materialize();
+    const bool duplicate =
+        std::find(kept.begin(), kept.end(), instance) != kept.end();
+    const bool maximal = IsMaximalInstance(g, m33, instance, options.delta);
+    EXPECT_TRUE(duplicate || !maximal) << instance.ToString();
+    return true;
+  });
+}
+
+TEST(AblationOptionsTest, RedundantCounterZeroWithoutAblation) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  Motif m33 = *Motif::FromSpanningPath({0, 1, 2, 0});
+  EnumerationOptions options;
+  options.delta = 10;
+  options.phi = 0.0;
+  EnumerationResult result = FlowMotifEnumerator(g, m33, options).Run();
+  EXPECT_EQ(result.num_redundant_instances, 0);
+}
+
+}  // namespace
+}  // namespace flowmotif

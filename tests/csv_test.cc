@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace flowmotif {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, SplitCsvLineBasic) {
+  std::vector<std::string> fields = SplitCsvLine("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST_F(CsvTest, SplitCsvLineTrimsWhitespace) {
+  std::vector<std::string> fields = SplitCsvLine(" a , b\t, c ", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST_F(CsvTest, SplitCsvLineEmptyFields) {
+  std::vector<std::string> fields = SplitCsvLine("a,,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST_F(CsvTest, WriteThenReadRoundTrip) {
+  {
+    CsvWriter writer(path_, ',');
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteComment("header comment");
+    writer.WriteRow({"1", "2", "3"});
+    writer.WriteRow({"x", "y", "z"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  CsvReader reader(path_, ',');
+  ASSERT_TRUE(reader.status().ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3"}));
+  ASSERT_TRUE(reader.NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_FALSE(reader.NextRow(&row));
+}
+
+TEST_F(CsvTest, ReaderSkipsBlankAndCommentLines) {
+  {
+    std::ofstream out(path_);
+    out << "# comment\n\n  \n1,2\n#another\n3,4\n";
+  }
+  CsvReader reader(path_, ',');
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.NextRow(&row));
+  EXPECT_EQ(row[0], "1");
+  ASSERT_TRUE(reader.NextRow(&row));
+  EXPECT_EQ(row[0], "3");
+  EXPECT_FALSE(reader.NextRow(&row));
+}
+
+TEST_F(CsvTest, ReaderTracksLineNumbers) {
+  {
+    std::ofstream out(path_);
+    out << "# c\n1,2\n3,4\n";
+  }
+  CsvReader reader(path_, ',');
+  std::vector<std::string> row;
+  reader.NextRow(&row);
+  EXPECT_EQ(reader.line_number(), 2);
+  reader.NextRow(&row);
+  EXPECT_EQ(reader.line_number(), 3);
+}
+
+TEST_F(CsvTest, MissingFileReportsIoError) {
+  CsvReader reader("/nonexistent/dir/file.csv", ',');
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.NextRow(&row));
+}
+
+TEST_F(CsvTest, UnwritablePathReportsIoError) {
+  CsvWriter writer("/nonexistent/dir/file.csv", ',');
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, TabDelimiter) {
+  {
+    CsvWriter writer(path_, '\t');
+    writer.WriteRow({"a", "b"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  CsvReader reader(path_, '\t');
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,201 @@
+// Boundary-condition suite across the whole API surface: degenerate
+// graphs, extreme parameters, timestamp ties, and negative time domains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/counter.h"
+#include "core/dp.h"
+#include "core/enumerator.h"
+#include "core/join_baseline.h"
+#include "core/motif_catalog.h"
+#include "core/significance.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::MakeGraph;
+
+Motif Chain3() { return *Motif::FromSpanningPath({0, 1, 2}); }
+
+EnumerationOptions Opts(Timestamp delta, Flow phi) {
+  EnumerationOptions o;
+  o.delta = delta;
+  o.phi = phi;
+  return o;
+}
+
+TEST(EdgeCasesTest, EmptyGraphAcrossAllAlgorithms) {
+  TimeSeriesGraph g = TimeSeriesGraph::Build(InteractionGraph());
+  Motif motif = Chain3();
+  EXPECT_EQ(FlowMotifEnumerator(g, motif, Opts(10, 0)).Run().num_instances,
+            0);
+  EXPECT_EQ(JoinMotifEnumerator(g, motif, 10, 0).Run().num_instances, 0);
+  EXPECT_EQ(InstanceCounter(g, motif, 10, 0).Run().num_instances, 0);
+  EXPECT_FALSE(MaxFlowDpSearcher(g, motif, 10).Run().found);
+  EXPECT_TRUE(TopKSearcher(g, motif, 10, 3).Run().entries.empty());
+}
+
+TEST(EdgeCasesTest, GraphSmallerThanMotif) {
+  // Two vertices cannot host a 3-node chain.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0}, {1, 0, 2, 1.0}});
+  for (const Motif& motif : MotifCatalog::All()) {
+    if (motif.num_nodes() > 2) {
+      EXPECT_EQ(
+          FlowMotifEnumerator(g, motif, Opts(10, 0)).Run().num_instances, 0)
+          << motif.name();
+    }
+  }
+}
+
+TEST(EdgeCasesTest, ZeroDeltaRequiresInstantCoincidence) {
+  // delta = 0: a window is one instant; consecutive edges need strictly
+  // increasing times, which is impossible inside a single instant for
+  // multi-edge motifs.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 10, 1.0}, {1, 2, 10, 1.0}});
+  EXPECT_EQ(FlowMotifEnumerator(g, Chain3(), Opts(0, 0)).Run().num_instances,
+            0);
+
+  // A single-edge motif at delta = 0 picks up exactly the co-instant
+  // elements.
+  TimeSeriesGraph g2 = MakeGraph({{0, 1, 10, 1.0}, {0, 1, 10, 2.0},
+                                  {0, 1, 11, 4.0}});
+  Motif single = *Motif::FromSpanningPath({0, 1});
+  FlowMotifEnumerator enumerator(g2, single, Opts(0, 0));
+  std::vector<MotifInstance> instances = enumerator.CollectAll();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].edge_sets[0].size(), 2u);  // both t=10 elements
+  EXPECT_EQ(instances[1].edge_sets[0].size(), 1u);  // the t=11 element
+}
+
+TEST(EdgeCasesTest, SpanExactlyDeltaIsAccepted) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, 0, 1.0}, {1, 2, 10, 1.0}});
+  EXPECT_EQ(
+      FlowMotifEnumerator(g, Chain3(), Opts(10, 0)).Run().num_instances, 1);
+  EXPECT_EQ(
+      FlowMotifEnumerator(g, Chain3(), Opts(9, 0)).Run().num_instances, 0);
+}
+
+TEST(EdgeCasesTest, NegativeTimestampsWork) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, -100, 2.0}, {1, 2, -95, 3.0}});
+  EnumerationOptions options = Opts(10, 0);
+  FlowMotifEnumerator enumerator(g, Chain3(), options);
+  std::vector<MotifInstance> instances = enumerator.CollectAll();
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].StartTime(), -100);
+  EXPECT_TRUE(ValidateInstance(g, Chain3(), instances[0], 10, 0).ok());
+
+  // Join and counter agree in negative time too.
+  EXPECT_EQ(JoinMotifEnumerator(g, Chain3(), 10, 0).Run().num_instances, 1);
+  EXPECT_EQ(InstanceCounter(g, Chain3(), 10, 0).Run().num_instances, 1);
+}
+
+TEST(EdgeCasesTest, TimestampTiesAcrossEdgesNeverSatisfyStrictOrder) {
+  // All interactions at the same instant: any multi-edge motif is empty.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 5, 1.0}, {1, 2, 5, 1.0},
+                                 {2, 0, 5, 1.0}});
+  for (const char* name : {"M(3,2)", "M(3,3)"}) {
+    Motif motif = *MotifCatalog::ByName(name);
+    EXPECT_EQ(
+        FlowMotifEnumerator(g, motif, Opts(100, 0)).Run().num_instances, 0)
+        << name;
+    EXPECT_EQ(JoinMotifEnumerator(g, motif, 100, 0).Run().num_instances, 0)
+        << name;
+  }
+}
+
+TEST(EdgeCasesTest, HugeFlowsStayFinite) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1e300}, {0, 1, 2, 1e300},
+                                 {1, 2, 3, 1e300}});
+  FlowMotifEnumerator enumerator(g, Chain3(), Opts(10, 0));
+  enumerator.Run([](const InstanceView& view) {
+    EXPECT_TRUE(std::isfinite(view.flow));
+    EXPECT_GT(view.flow, 0.0);
+    return true;
+  });
+}
+
+TEST(EdgeCasesTest, TinyFlowsRespectPhi) {
+  // Bitcoin-style dust: 1e-4 flows; phi barely above one element's flow
+  // forces 2-element aggregation.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1e-4}, {0, 1, 2, 1e-4},
+                                 {1, 2, 3, 1e-3}});
+  FlowMotifEnumerator enumerator(g, Chain3(), Opts(10, 1.5e-4));
+  std::vector<MotifInstance> instances = enumerator.CollectAll();
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].edge_sets[0].size(), 2u);
+}
+
+TEST(EdgeCasesTest, PhiLargerThanAnyAggregateYieldsNothing) {
+  TimeSeriesGraph g = testing_util::PaperFig2Graph();
+  for (const Motif& motif : MotifCatalog::All()) {
+    EXPECT_EQ(
+        FlowMotifEnumerator(g, motif, Opts(10, 1e9)).Run().num_instances, 0)
+        << motif.name();
+  }
+}
+
+TEST(EdgeCasesTest, HugeDeltaCoversWholeTimeline) {
+  TimeSeriesGraph g = testing_util::PaperFig2Graph();
+  Motif m33 = *Motif::FromSpanningPath({0, 1, 2, 0});
+  // One window per match covers everything; enumeration still terminates
+  // and agrees with the join baseline.
+  EnumerationOptions options = Opts(1'000'000'000, 0.0);
+  int64_t enumerated =
+      FlowMotifEnumerator(g, m33, options).Run().num_instances;
+  EXPECT_EQ(JoinMotifEnumerator(g, m33, options.delta, 0.0)
+                .Run()
+                .num_instances,
+            enumerated);
+  EXPECT_GT(enumerated, 0);
+}
+
+TEST(EdgeCasesTest, SignificanceOnDegenerateGraphs) {
+  // A graph with a single interaction: permutation is the identity.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 5.0}});
+  SignificanceAnalyzer::Options options;
+  options.num_random_graphs = 3;
+  options.seed = 1;
+  options.delta = 10;
+  options.phi = 1.0;
+  SignificanceAnalyzer analyzer(g, options);
+  SignificanceAnalyzer::MotifReport report =
+      analyzer.Analyze(*Motif::FromSpanningPath({0, 1}));
+  EXPECT_EQ(report.real_count, 1);
+  for (double c : report.random_counts) EXPECT_EQ(c, 1.0);
+  EXPECT_EQ(report.z_score, 0.0);
+  EXPECT_EQ(report.p_value, 1.0);
+}
+
+TEST(EdgeCasesTest, AnalyzeIsIndependentOfMotifSetComposition) {
+  // The analyzer's RNG restarts per motif, so a report does not depend
+  // on which other motifs are analyzed around it.
+  TimeSeriesGraph g = testing_util::PaperFig2Graph();
+  SignificanceAnalyzer::Options options;
+  options.num_random_graphs = 4;
+  options.seed = 9;
+  options.delta = 10;
+  options.phi = 5.0;
+  SignificanceAnalyzer analyzer(g, options);
+
+  Motif m33 = *Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)");
+  SignificanceAnalyzer::MotifReport alone = analyzer.Analyze(m33);
+  std::vector<SignificanceAnalyzer::MotifReport> in_set = analyzer.AnalyzeAll(
+      {*MotifCatalog::ByName("M(3,2)"), m33, *MotifCatalog::ByName("M(4,3)")});
+  EXPECT_EQ(alone.random_counts, in_set[1].random_counts);
+  EXPECT_EQ(alone.z_score, in_set[1].z_score);
+}
+
+TEST(EdgeCasesTest, SelfLoopHeavyGraph) {
+  // Self loops never participate, even when they dominate the graph.
+  TimeSeriesGraph g = MakeGraph({{0, 0, 1, 1.0}, {1, 1, 2, 1.0},
+                                 {2, 2, 3, 1.0}, {0, 1, 4, 1.0},
+                                 {1, 2, 5, 1.0}});
+  EXPECT_EQ(FlowMotifEnumerator(g, Chain3(), Opts(10, 0)).Run().num_instances,
+            1);
+}
+
+}  // namespace
+}  // namespace flowmotif

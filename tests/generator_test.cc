@@ -1,0 +1,188 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/bitcoin_gen.h"
+#include "gen/facebook_gen.h"
+#include "gen/passenger_gen.h"
+#include "graph/time_series_graph.h"
+
+namespace flowmotif {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_vertices = 300;
+  config.num_pairs = 900;
+  config.num_interactions = 4000;
+  config.time_span = 86400 * 7;
+  config.cascade_gap_mean = 60;
+  config.seed = 5;
+  return config;
+}
+
+TEST(TopologyTest, AddPairDedupesAndSkipsSelfLoops) {
+  Topology t(4);
+  EXPECT_TRUE(t.AddPair(0, 1));
+  EXPECT_FALSE(t.AddPair(0, 1));  // duplicate
+  EXPECT_FALSE(t.AddPair(2, 2));  // self loop
+  EXPECT_TRUE(t.AddPair(1, 0));   // reverse direction is distinct
+  EXPECT_EQ(t.num_pairs(), 2);
+  EXPECT_TRUE(t.HasPair(0, 1));
+  EXPECT_FALSE(t.HasPair(0, 2));
+  EXPECT_EQ(t.OutNeighbors(0).size(), 1u);
+}
+
+TEST(TopologyTest, CyclePocketsAddClosedCycles) {
+  Topology t(50);
+  Rng rng(3);
+  AddCyclePockets(&t, 5, 3, &rng);
+  // Every added pocket contributes a directed 3-cycle: follow each pair
+  // around. There should be pairs, and for at least one vertex v with an
+  // out-neighbor w, a 2-hop return path exists.
+  EXPECT_GT(t.num_pairs(), 0);
+  bool found_triangle = false;
+  for (const auto& [u, v] : t.pairs()) {
+    for (VertexId w : t.OutNeighbors(v)) {
+      if (t.HasPair(w, u)) found_triangle = true;
+    }
+  }
+  EXPECT_TRUE(found_triangle);
+}
+
+TEST(EmitInteractionsTest, RespectsConfigCounts) {
+  Topology t(20);
+  Rng rng(1);
+  for (VertexId i = 0; i < 19; ++i) t.AddPair(i, i + 1);
+  GeneratorConfig config = SmallConfig();
+  config.num_vertices = 20;
+  config.num_interactions = 500;
+  InteractionGraph g = EmitInteractions(
+      t, config, [](Rng*) { return 1.0; },
+      UniformTimeSampler(config.time_span), &rng);
+  EXPECT_GE(g.num_interactions(), 500);
+  EXPECT_EQ(g.num_vertices(), 20);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.t, 0);
+    EXPECT_LT(e.t, config.time_span);
+    EXPECT_GT(e.f, 0.0);
+    EXPECT_TRUE(t.HasPair(e.src, e.dst)) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(EmitInteractionsTest, EmptyTopologyYieldsNoEvents) {
+  Topology t(5);
+  Rng rng(1);
+  GeneratorConfig config = SmallConfig();
+  InteractionGraph g = EmitInteractions(
+      t, config, [](Rng*) { return 1.0; },
+      UniformTimeSampler(config.time_span), &rng);
+  EXPECT_EQ(g.num_interactions(), 0);
+}
+
+class DatasetGeneratorTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetGeneratorTest, GeneratesPlausibleGraphs) {
+  GeneratorConfig config = SmallConfig();
+  InteractionGraph multigraph;
+  switch (GetParam()) {
+    case 0:
+      multigraph = BitcoinLikeGenerator(config).Generate();
+      break;
+    case 1:
+      multigraph = FacebookLikeGenerator(config).Generate();
+      break;
+    default:
+      multigraph = PassengerLikeGenerator(config).Generate();
+      break;
+  }
+  EXPECT_GE(multigraph.num_interactions(), config.num_interactions);
+  TimeSeriesGraph g = TimeSeriesGraph::Build(multigraph);
+  TimeSeriesGraph::Stats stats = g.ComputeStats();
+  EXPECT_GT(stats.num_connected_pairs, 0);
+  EXPECT_GT(stats.avg_flow_per_edge, 0.0);
+  EXPECT_GE(stats.min_time, 0);
+  EXPECT_LT(stats.max_time, config.time_span);
+}
+
+TEST_P(DatasetGeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig config = SmallConfig();
+  auto generate = [&config](int which) {
+    switch (which) {
+      case 0:
+        return BitcoinLikeGenerator(config).Generate();
+      case 1:
+        return FacebookLikeGenerator(config).Generate();
+      default:
+        return PassengerLikeGenerator(config).Generate();
+    }
+  };
+  InteractionGraph a = generate(GetParam());
+  InteractionGraph b = generate(GetParam());
+  ASSERT_EQ(a.num_interactions(), b.num_interactions());
+  for (int64_t i = 0; i < a.num_interactions(); ++i) {
+    const auto& ea = a.edges()[static_cast<size_t>(i)];
+    const auto& eb = b.edges()[static_cast<size_t>(i)];
+    EXPECT_EQ(ea.src, eb.src);
+    EXPECT_EQ(ea.dst, eb.dst);
+    EXPECT_EQ(ea.t, eb.t);
+    EXPECT_EQ(ea.f, eb.f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, DatasetGeneratorTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("Bitcoin");
+                             case 1:
+                               return std::string("Facebook");
+                             default:
+                               return std::string("Passenger");
+                           }
+                         });
+
+TEST(GeneratorStatsTest, BitcoinFlowsAreHeavyTailedWithMeanNearPaper) {
+  GeneratorConfig config = SmallConfig();
+  config.num_interactions = 20000;
+  InteractionGraph g = BitcoinLikeGenerator(config).Generate();
+  double sum = 0.0;
+  double max_flow = 0.0;
+  for (const auto& e : g.edges()) {
+    sum += e.f;
+    max_flow = std::max(max_flow, e.f);
+    EXPECT_GE(e.f, 1e-4);  // dust truncation like the paper
+  }
+  const double mean = sum / static_cast<double>(g.num_interactions());
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 12.0);       // Pareto mean target ~4.8, high variance
+  EXPECT_GT(max_flow, mean * 5);  // heavy tail
+}
+
+TEST(GeneratorStatsTest, FacebookFlowsAreSmallIntegers) {
+  GeneratorConfig config = SmallConfig();
+  InteractionGraph g = FacebookLikeGenerator(config).Generate();
+  double sum = 0.0;
+  for (const auto& e : g.edges()) {
+    EXPECT_EQ(e.f, static_cast<double>(static_cast<int64_t>(e.f)));
+    EXPECT_GE(e.f, 1.0);
+    sum += e.f;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(g.num_interactions()), 3.0, 0.5);
+}
+
+TEST(GeneratorStatsTest, PassengerFlowsMatchPaperMean) {
+  GeneratorConfig config = SmallConfig();
+  InteractionGraph g = PassengerLikeGenerator(config).Generate();
+  double sum = 0.0;
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.f, 1.0);
+    sum += e.f;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(g.num_interactions()), 1.93, 0.4);
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,144 @@
+// Property suite: every instance the enumerator emits on random graphs
+// satisfies Def. 3.2 (validity) under the query's delta / phi; in strict
+// mode it also satisfies Def. 3.3 (maximality); and the reported flow
+// equals Eq. 1. Instances are also pairwise distinct.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/enumerator.h"
+#include "core/motif_catalog.h"
+#include "graph/interaction_graph.h"
+#include "graph/time_series_graph.h"
+#include "util/random.h"
+
+namespace flowmotif {
+namespace {
+
+InteractionGraph RandomMultigraph(uint64_t seed, int num_vertices,
+                                  int num_interactions, Timestamp horizon) {
+  Rng rng(seed);
+  InteractionGraph g;
+  g.EnsureVertices(num_vertices);
+  for (int i = 0; i < num_interactions; ++i) {
+    VertexId u = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    VertexId v = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    if (u == v) continue;
+    Timestamp t = static_cast<Timestamp>(
+        rng.NextBounded(static_cast<uint64_t>(horizon)));
+    Flow f = 1.0 + static_cast<Flow>(rng.NextBounded(9));
+    (void)g.AddEdge(u, v, t, f);
+  }
+  return g;
+}
+
+using Param = std::tuple<uint64_t, int, Timestamp, Flow>;
+
+class InstancePropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(InstancePropertyTest, EmittedInstancesAreValidAndDistinct) {
+  const auto& [seed, motif_index, delta, phi] = GetParam();
+  TimeSeriesGraph g =
+      TimeSeriesGraph::Build(RandomMultigraph(seed, 8, 150, 120));
+  const Motif& motif = MotifCatalog::All()[static_cast<size_t>(motif_index)];
+
+  EnumerationOptions options;
+  options.delta = delta;
+  options.phi = phi;
+  FlowMotifEnumerator enumerator(g, motif, options);
+
+  std::set<std::string> fingerprints;
+  int64_t count = 0;
+  enumerator.Run([&](const InstanceView& view) {
+    MotifInstance instance = view.Materialize();
+    ++count;
+
+    Status valid = ValidateInstance(g, motif, instance, delta, phi);
+    EXPECT_TRUE(valid.ok()) << valid << " " << instance.ToString();
+
+    EXPECT_DOUBLE_EQ(instance.InstanceFlow(), view.flow);
+    EXPECT_GE(view.flow, phi);
+
+    // Window invariant: everything inside [window.start, window.end] and
+    // the first edge-set anchored at the window start.
+    EXPECT_GE(instance.StartTime(), view.window.start);
+    EXPECT_LE(instance.EndTime(), view.window.end);
+    EXPECT_EQ(instance.edge_sets.front().front().t, view.window.start);
+
+    std::string fp = std::to_string(instance.binding[0]);
+    for (size_t i = 1; i < instance.binding.size(); ++i) {
+      fp += "," + std::to_string(instance.binding[i]);
+    }
+    fp += "|" + instance.ToString();
+    EXPECT_TRUE(fingerprints.insert(fp).second)
+        << "duplicate instance " << fp;
+    return true;
+  });
+  EXPECT_EQ(count, static_cast<int64_t>(fingerprints.size()));
+}
+
+TEST_P(InstancePropertyTest, StrictModeInstancesAreMaximal) {
+  const auto& [seed, motif_index, delta, phi] = GetParam();
+  TimeSeriesGraph g =
+      TimeSeriesGraph::Build(RandomMultigraph(seed ^ 0xbeef, 8, 150, 120));
+  const Motif& motif = MotifCatalog::All()[static_cast<size_t>(motif_index)];
+
+  EnumerationOptions options;
+  options.delta = delta;
+  options.phi = phi;
+  options.strict_maximality = true;
+  FlowMotifEnumerator enumerator(g, motif, options);
+
+  enumerator.Run([&](const InstanceView& view) {
+    MotifInstance instance = view.Materialize();
+    EXPECT_TRUE(IsMaximalInstance(g, motif, instance, delta))
+        << instance.ToString();
+    return true;
+  });
+}
+
+TEST_P(InstancePropertyTest, StrictModeIsSubsetOfFaithfulMode) {
+  const auto& [seed, motif_index, delta, phi] = GetParam();
+  TimeSeriesGraph g =
+      TimeSeriesGraph::Build(RandomMultigraph(seed ^ 0xcafe, 8, 150, 120));
+  const Motif& motif = MotifCatalog::All()[static_cast<size_t>(motif_index)];
+
+  EnumerationOptions options;
+  options.delta = delta;
+  options.phi = phi;
+  FlowMotifEnumerator faithful(g, motif, options);
+  options.strict_maximality = true;
+  FlowMotifEnumerator strict(g, motif, options);
+
+  EnumerationResult faithful_result = faithful.Run();
+  EnumerationResult strict_result = strict.Run();
+  EXPECT_LE(strict_result.num_instances, faithful_result.num_instances);
+  EXPECT_EQ(strict_result.num_instances + strict_result.num_strict_rejects,
+            faithful_result.num_instances);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [seed, motif_index, delta, phi] = info.param;
+  std::string name;
+  for (char c :
+       MotifCatalog::All()[static_cast<size_t>(motif_index)].name()) {
+    if (std::isalnum(static_cast<unsigned char>(c))) name.push_back(c);
+  }
+  return "s" + std::to_string(seed) + "_" + name + "_d" +
+         std::to_string(delta) + "_p" + std::to_string(static_cast<int>(phi));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InstancePropertyTest,
+    ::testing::Combine(::testing::Values<uint64_t>(5, 6, 7),
+                       ::testing::Values(0, 1, 2, 4, 7),
+                       ::testing::Values<Timestamp>(15, 40),
+                       ::testing::Values<Flow>(0.0, 5.0)),
+    ParamName);
+
+}  // namespace
+}  // namespace flowmotif

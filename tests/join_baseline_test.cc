@@ -1,0 +1,139 @@
+#include "core/join_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/enumerator.h"
+#include "core/motif.h"
+#include "core/motif_catalog.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::PaperFig2Graph;
+using testing_util::PaperFig7Graph;
+
+Motif M33() { return *Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)"); }
+
+std::vector<MotifInstance> CollectJoin(const TimeSeriesGraph& g,
+                                       const Motif& motif, Timestamp delta,
+                                       Flow phi) {
+  JoinMotifEnumerator join(g, motif, delta, phi);
+  std::vector<MotifInstance> out;
+  join.Run([&out](const MotifInstance& instance) {
+    out.push_back(instance);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<MotifInstance> CollectTwoPhase(const TimeSeriesGraph& g,
+                                           const Motif& motif,
+                                           Timestamp delta, Flow phi) {
+  EnumerationOptions options;
+  options.delta = delta;
+  options.phi = phi;
+  FlowMotifEnumerator enumerator(g, motif, options);
+  std::vector<MotifInstance> out = enumerator.CollectAll();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(JoinBaselineTest, MatchesTwoPhaseOnFig2) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  EXPECT_EQ(CollectJoin(g, M33(), 10, 7.0), CollectTwoPhase(g, M33(), 10, 7.0));
+  EXPECT_EQ(CollectJoin(g, M33(), 10, 0.0), CollectTwoPhase(g, M33(), 10, 0.0));
+}
+
+TEST(JoinBaselineTest, MatchesTwoPhaseOnFig7AllPhis) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  for (Flow phi : {0.0, 3.0, 5.0, 7.0}) {
+    EXPECT_EQ(CollectJoin(g, M33(), 10, phi),
+              CollectTwoPhase(g, M33(), 10, phi))
+        << "phi=" << phi;
+  }
+}
+
+TEST(JoinBaselineTest, MatchesTwoPhaseAcrossCatalogOnFig2) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  for (const Motif& motif : MotifCatalog::All()) {
+    EXPECT_EQ(CollectJoin(g, motif, 10, 0.0),
+              CollectTwoPhase(g, motif, 10, 0.0))
+        << motif.name();
+  }
+}
+
+TEST(JoinBaselineTest, QuintupleGenerationRespectsDeltaAndPhi) {
+  // Series (10,1),(12,2),(30,4), delta 5, phi 0: runs within delta are
+  // {10},{12},{30},{10,12} -> 4 quintuples.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 10, 1.0}, {0, 1, 12, 2.0},
+                                 {0, 1, 30, 4.0}});
+  Motif edge = *Motif::FromSpanningPath({0, 1});
+  {
+    JoinMotifEnumerator join(g, edge, 5, 0.0);
+    EXPECT_EQ(join.Run().num_quintuples, 4);
+  }
+  {
+    // phi = 2 drops the run {10} (flow 1).
+    JoinMotifEnumerator join(g, edge, 5, 2.0);
+    EXPECT_EQ(join.Run().num_quintuples, 3);
+  }
+}
+
+TEST(JoinBaselineTest, SingleEdgeMotifMatchesTwoPhase) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, 10, 1.0}, {0, 1, 12, 2.0},
+                                 {0, 1, 30, 4.0}});
+  Motif edge = *Motif::FromSpanningPath({0, 1});
+  EXPECT_EQ(CollectJoin(g, edge, 5, 0.0), CollectTwoPhase(g, edge, 5, 0.0));
+  EXPECT_EQ(CollectJoin(g, edge, 5, 3.5), CollectTwoPhase(g, edge, 5, 3.5));
+}
+
+TEST(JoinBaselineTest, CycleClosureEnforced) {
+  // A chain 0->1->2 with no closing edge has no M(3,3) instance.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0}, {1, 2, 2, 1.0}});
+  EXPECT_EQ(CollectJoin(g, M33(), 10, 0.0).size(), 0u);
+}
+
+TEST(JoinBaselineTest, InjectivityEnforced) {
+  // 0->1->0 must not instantiate a 3-chain.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0}, {1, 0, 2, 1.0}});
+  Motif chain = *Motif::FromSpanningPath({0, 1, 2});
+  EXPECT_TRUE(CollectJoin(g, chain, 10, 0.0).empty());
+}
+
+TEST(JoinBaselineTest, CountOnlyRunAgreesWithVisitorRun) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  JoinMotifEnumerator join(g, M33(), 10, 0.0);
+  JoinMotifEnumerator::Result counted = join.Run();
+  EXPECT_EQ(counted.num_instances,
+            static_cast<int64_t>(CollectJoin(g, M33(), 10, 0.0).size()));
+}
+
+TEST(JoinBaselineTest, ProducesIntermediatePartials) {
+  // The join algorithm's cost signature: intermediate sub-motif
+  // instances are materialized (num_partials > num_instances).
+  TimeSeriesGraph g = PaperFig2Graph();
+  JoinMotifEnumerator join(g, M33(), 10, 0.0);
+  JoinMotifEnumerator::Result result = join.Run();
+  EXPECT_GT(result.num_quintuples, 0);
+  EXPECT_GT(result.num_partials, result.num_instances);
+}
+
+TEST(JoinBaselineTest, VisitorEarlyStop) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  JoinMotifEnumerator join(g, M33(), 10, 0.0);
+  int seen = 0;
+  join.Run([&seen](const MotifInstance&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,98 @@
+#include "core/match_activity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/motif.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::PaperFig2Graph;
+using testing_util::PaperFig7Graph;
+
+Motif M33() { return *Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)"); }
+
+EnumerationOptions Opts(Timestamp delta, Flow phi) {
+  EnumerationOptions o;
+  o.delta = delta;
+  o.phi = phi;
+  return o;
+}
+
+TEST(MatchActivityTest, TopMatchesOnFig7) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  std::vector<MatchActivityAnalyzer::MatchActivity> top =
+      analyzer.TopMatches(10);
+  // Three rotations of the one triangle; all have instances (4, 1, 1).
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].binding, (MatchBinding{2, 1, 0}));
+  EXPECT_EQ(top[0].instance_count, 4);
+  EXPECT_EQ(top[1].instance_count, 1);
+  EXPECT_EQ(top[2].instance_count, 1);
+}
+
+TEST(MatchActivityTest, ActivityAggregatesAreConsistent) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  for (const auto& activity : analyzer.TopMatches(0)) {
+    EXPECT_GT(activity.instance_count, 0);
+    EXPECT_GT(activity.max_instance_flow, 0.0);
+    EXPECT_GE(activity.total_instance_flow, activity.max_instance_flow);
+    EXPECT_LE(activity.first_window_start, activity.last_window_start);
+  }
+}
+
+TEST(MatchActivityTest, TopNTruncates) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  EXPECT_EQ(analyzer.TopMatches(1).size(), 1u);
+  EXPECT_EQ(analyzer.TopMatches(2).size(), 2u);
+  // 0 means "all".
+  EXPECT_EQ(analyzer.TopMatches(0).size(), 3u);
+}
+
+TEST(MatchActivityTest, MatchesWithoutInstancesAreDropped) {
+  // On Fig. 2 with phi=7, only two matches have instances (Fig. 4 and the
+  // second triangle's canonical rotation).
+  TimeSeriesGraph graph = PaperFig2Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 7.0));
+  std::vector<MatchActivityAnalyzer::MatchActivity> top =
+      analyzer.TopMatches(0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].instance_count, 1);
+  EXPECT_EQ(top[1].instance_count, 1);
+}
+
+TEST(MatchActivityTest, TimelineBucketsCoverInstances) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  MatchActivityAnalyzer::TimelineHistogram histogram = analyzer.Timeline(10);
+  int64_t total = 0;
+  for (int64_t c : histogram.counts) total += c;
+  EXPECT_EQ(total, 6);  // all instances across the three rotations
+  EXPECT_EQ(histogram.bucket_width, 10);
+}
+
+TEST(MatchActivityTest, TimelineRespectsBucketWidth) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  MatchActivityAnalyzer::TimelineHistogram fine = analyzer.Timeline(1);
+  MatchActivityAnalyzer::TimelineHistogram coarse = analyzer.Timeline(1000);
+  int64_t fine_total = 0;
+  for (int64_t c : fine.counts) fine_total += c;
+  int64_t coarse_total = 0;
+  for (int64_t c : coarse.counts) coarse_total += c;
+  EXPECT_EQ(fine_total, coarse_total);
+  EXPECT_EQ(coarse.counts.size(), 1u);
+}
+
+TEST(MatchActivityDeathTest, BadBucketWidthAborts) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  MatchActivityAnalyzer analyzer(graph, M33(), Opts(10, 0.0));
+  EXPECT_DEATH(analyzer.Timeline(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,75 @@
+#include "core/motif_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace flowmotif {
+namespace {
+
+TEST(MotifCatalogTest, HasAllTenPaperMotifs) {
+  const std::vector<Motif>& all = MotifCatalog::All();
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(MotifCatalog::Names(),
+            (std::vector<std::string>{"M(3,2)", "M(3,3)", "M(4,3)",
+                                      "M(4,4)A", "M(4,4)B", "M(4,4)C",
+                                      "M(5,4)", "M(5,5)A", "M(5,5)B",
+                                      "M(5,5)C"}));
+}
+
+TEST(MotifCatalogTest, NodeAndEdgeCountsMatchNames) {
+  // M(n, m) has n nodes and m edges.
+  const std::map<std::string, std::pair<int, int>> expected{
+      {"M(3,2)", {3, 2}},  {"M(3,3)", {3, 3}},  {"M(4,3)", {4, 3}},
+      {"M(4,4)A", {4, 4}}, {"M(4,4)B", {4, 4}}, {"M(4,4)C", {4, 4}},
+      {"M(5,4)", {5, 4}},  {"M(5,5)A", {5, 5}}, {"M(5,5)B", {5, 5}},
+      {"M(5,5)C", {5, 5}},
+  };
+  for (const Motif& m : MotifCatalog::All()) {
+    const auto& [nodes, edges] = expected.at(m.name());
+    EXPECT_EQ(m.num_nodes(), nodes) << m.name();
+    EXPECT_EQ(m.num_edges(), edges) << m.name();
+  }
+}
+
+TEST(MotifCatalogTest, CyclicityMatchesPaper) {
+  // Chains are acyclic; all other catalog motifs contain a cycle.
+  const std::set<std::string> chains{"M(3,2)", "M(4,3)", "M(5,4)"};
+  for (const Motif& m : MotifCatalog::All()) {
+    EXPECT_EQ(m.HasCycle(), chains.find(m.name()) == chains.end())
+        << m.name();
+  }
+}
+
+TEST(MotifCatalogTest, PureCyclesStartAndEndAtOrigin) {
+  for (const char* name : {"M(3,3)", "M(4,4)A", "M(5,5)A"}) {
+    StatusOr<Motif> m = MotifCatalog::ByName(name);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->path().front(), m->path().back()) << name;
+  }
+}
+
+TEST(MotifCatalogTest, AllPathsAreDistinct) {
+  std::set<std::string> paths;
+  for (const Motif& m : MotifCatalog::All()) {
+    EXPECT_TRUE(paths.insert(m.PathString()).second)
+        << "duplicate path " << m.PathString();
+  }
+}
+
+TEST(MotifCatalogTest, ByNameFindsEveryMotif) {
+  for (const Motif& m : MotifCatalog::All()) {
+    StatusOr<Motif> found = MotifCatalog::ByName(m.name());
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, m);
+  }
+}
+
+TEST(MotifCatalogTest, ByNameRejectsUnknown) {
+  EXPECT_EQ(MotifCatalog::ByName("M(9,9)").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace flowmotif

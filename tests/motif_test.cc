@@ -1,0 +1,99 @@
+#include "core/motif.h"
+
+#include <gtest/gtest.h>
+
+namespace flowmotif {
+namespace {
+
+TEST(MotifTest, ChainBasics) {
+  StatusOr<Motif> m = Motif::FromSpanningPath({0, 1, 2});
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->num_nodes(), 3);
+  EXPECT_EQ(m->num_edges(), 2);
+  EXPECT_EQ(m->edge(0), std::make_pair(0, 1));
+  EXPECT_EQ(m->edge(1), std::make_pair(1, 2));
+  EXPECT_FALSE(m->HasCycle());
+  EXPECT_EQ(m->PathString(), "0-1-2");
+  EXPECT_EQ(m->name(), "0-1-2");  // defaults to the path notation
+}
+
+TEST(MotifTest, CycleDetection) {
+  StatusOr<Motif> cycle = Motif::FromSpanningPath({0, 1, 2, 0});
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_TRUE(cycle->HasCycle());
+  EXPECT_EQ(cycle->num_nodes(), 3);
+  EXPECT_EQ(cycle->num_edges(), 3);
+
+  StatusOr<Motif> tailed = Motif::FromSpanningPath({0, 1, 2, 3, 1});
+  ASSERT_TRUE(tailed.ok());
+  EXPECT_TRUE(tailed->HasCycle());
+  EXPECT_EQ(tailed->num_nodes(), 4);
+}
+
+TEST(MotifTest, SingleEdgeMotif) {
+  StatusOr<Motif> m = Motif::FromSpanningPath({0, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_edges(), 1);
+  EXPECT_EQ(m->num_nodes(), 2);
+}
+
+TEST(MotifTest, CustomName) {
+  StatusOr<Motif> m = Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->name(), "M(3,3)");
+  EXPECT_EQ(m->PathString(), "0-1-2-0");
+}
+
+TEST(MotifTest, RejectsTooShortPath) {
+  EXPECT_FALSE(Motif::FromSpanningPath({0}).ok());
+  EXPECT_FALSE(Motif::FromSpanningPath({}).ok());
+}
+
+TEST(MotifTest, RejectsSelfLoopEdges) {
+  EXPECT_FALSE(Motif::FromSpanningPath({0, 0}).ok());
+  EXPECT_FALSE(Motif::FromSpanningPath({0, 1, 1}).ok());
+}
+
+TEST(MotifTest, RejectsRepeatedEdges) {
+  // 0->1 appears twice: edge labels must identify distinct edges.
+  EXPECT_FALSE(Motif::FromSpanningPath({0, 1, 0, 1}).ok());
+}
+
+TEST(MotifTest, RejectsNegativeAndSparseIds) {
+  EXPECT_FALSE(Motif::FromSpanningPath({0, -1}).ok());
+  // Node 1 is missing: ids must be dense.
+  EXPECT_FALSE(Motif::FromSpanningPath({0, 2}).ok());
+}
+
+TEST(MotifTest, AllowsRevisitingNodesWithDistinctEdges) {
+  // 0->1->2->0->3: node 0 appears twice, all edges distinct.
+  StatusOr<Motif> m = Motif::FromSpanningPath({0, 1, 2, 0, 3});
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->num_nodes(), 4);
+  EXPECT_EQ(m->num_edges(), 4);
+}
+
+TEST(MotifTest, ParseRoundTrip) {
+  StatusOr<Motif> m = Motif::Parse("0-1-2-0");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->PathString(), "0-1-2-0");
+  EXPECT_EQ(m->num_edges(), 3);
+}
+
+TEST(MotifTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Motif::Parse("").ok());
+  EXPECT_FALSE(Motif::Parse("0-").ok());
+  EXPECT_FALSE(Motif::Parse("0-x-2").ok());
+  EXPECT_FALSE(Motif::Parse("0--1").ok());
+}
+
+TEST(MotifTest, EqualityIsPathEquality) {
+  Motif a = *Motif::FromSpanningPath({0, 1, 2}, "A");
+  Motif b = *Motif::FromSpanningPath({0, 1, 2}, "B");
+  Motif c = *Motif::FromSpanningPath({0, 1, 2, 0});
+  EXPECT_EQ(a, b);  // names do not matter
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace flowmotif

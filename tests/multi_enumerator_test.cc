@@ -1,0 +1,101 @@
+#include "core/multi_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "gen/presets.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::PaperFig2Graph;
+
+EnumerationOptions Opts(Timestamp delta, Flow phi) {
+  EnumerationOptions o;
+  o.delta = delta;
+  o.phi = phi;
+  return o;
+}
+
+TEST(MultiEnumeratorTest, CountsMatchPerMotifRunsOnPaperGraph) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StatusOr<MultiMotifEnumerator> multi =
+      MultiMotifEnumerator::Create(g, MotifCatalog::All(), Opts(10, 7.0));
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  std::vector<EnumerationResult> results = multi->Run();
+  ASSERT_EQ(results.size(), MotifCatalog::All().size());
+
+  for (size_t i = 0; i < MotifCatalog::All().size(); ++i) {
+    FlowMotifEnumerator single(g, MotifCatalog::All()[i], Opts(10, 7.0));
+    EnumerationResult expected = single.Run();
+    EXPECT_EQ(results[i].num_instances, expected.num_instances)
+        << MotifCatalog::All()[i].name();
+    EXPECT_EQ(results[i].num_structural_matches,
+              expected.num_structural_matches)
+        << MotifCatalog::All()[i].name();
+  }
+}
+
+TEST(MultiEnumeratorTest, InstancesMatchPerMotifRunsOnGeneratedData) {
+  TimeSeriesGraph g =
+      GenerateDataset(GetPreset(DatasetKind::kPassenger), 0.15);
+  std::vector<Motif> motifs{*MotifCatalog::ByName("M(3,2)"),
+                            *MotifCatalog::ByName("M(3,3)"),
+                            *MotifCatalog::ByName("M(4,3)")};
+  StatusOr<MultiMotifEnumerator> multi =
+      MultiMotifEnumerator::Create(g, motifs, Opts(900, 2.0));
+  ASSERT_TRUE(multi.ok());
+
+  std::map<size_t, std::vector<MotifInstance>> shared;
+  multi->Run([&shared](size_t idx, const InstanceView& view) {
+    shared[idx].push_back(view.Materialize());
+    return true;
+  });
+
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    FlowMotifEnumerator single(g, motifs[i], Opts(900, 2.0));
+    std::vector<MotifInstance> expected = single.CollectAll();
+    std::sort(expected.begin(), expected.end());
+    std::sort(shared[i].begin(), shared[i].end());
+    EXPECT_EQ(shared[i], expected) << motifs[i].name();
+  }
+}
+
+TEST(MultiEnumeratorTest, VisitorEarlyStopEndsWholeSearch) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StatusOr<MultiMotifEnumerator> multi =
+      MultiMotifEnumerator::Create(g, MotifCatalog::All(), Opts(10, 0.0));
+  ASSERT_TRUE(multi.ok());
+  int seen = 0;
+  multi->Run([&seen](size_t, const InstanceView&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(MultiEnumeratorTest, RejectsUnsupportedMotifSets) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  Motif fan = *Motif::FromEdgeList({{0, 1}, {0, 2}});
+  EXPECT_FALSE(MultiMotifEnumerator::Create(g, {fan}, Opts(10, 0.0)).ok());
+  EXPECT_FALSE(MultiMotifEnumerator::Create(g, {}, Opts(10, 0.0)).ok());
+}
+
+TEST(MultiEnumeratorTest, TimingFieldsPopulated) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StatusOr<MultiMotifEnumerator> multi =
+      MultiMotifEnumerator::Create(g, MotifCatalog::All(), Opts(10, 0.0));
+  ASSERT_TRUE(multi.ok());
+  for (const EnumerationResult& r : multi->Run()) {
+    EXPECT_GE(r.phase1_seconds, 0.0);
+    EXPECT_GE(r.phase2_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,93 @@
+#include "gen/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace flowmotif {
+namespace {
+
+TEST(PresetsTest, AllThreeDatasetsPresent) {
+  const std::vector<DatasetPreset>& presets = AllPresets();
+  ASSERT_EQ(presets.size(), 3u);
+  EXPECT_EQ(presets[0].name, "bitcoin");
+  EXPECT_EQ(presets[1].name, "facebook");
+  EXPECT_EQ(presets[2].name, "passenger");
+}
+
+TEST(PresetsTest, PaperDefaultParameters) {
+  // Sec. 6.2: delta defaults 600/600/900 and phi defaults 5/3/2.
+  EXPECT_EQ(GetPreset(DatasetKind::kBitcoin).default_delta, 600);
+  EXPECT_EQ(GetPreset(DatasetKind::kFacebook).default_delta, 600);
+  EXPECT_EQ(GetPreset(DatasetKind::kPassenger).default_delta, 900);
+  EXPECT_EQ(GetPreset(DatasetKind::kBitcoin).default_phi, 5.0);
+  EXPECT_EQ(GetPreset(DatasetKind::kFacebook).default_phi, 3.0);
+  EXPECT_EQ(GetPreset(DatasetKind::kPassenger).default_phi, 2.0);
+}
+
+TEST(PresetsTest, SweepsMatchPaperFigures) {
+  const DatasetPreset& bitcoin = GetPreset(DatasetKind::kBitcoin);
+  EXPECT_EQ(bitcoin.delta_sweep,
+            (std::vector<Timestamp>{200, 400, 600, 800, 1000}));
+  EXPECT_EQ(bitcoin.phi_sweep, (std::vector<Flow>{5, 10, 15, 20, 25}));
+  const DatasetPreset& passenger = GetPreset(DatasetKind::kPassenger);
+  EXPECT_EQ(passenger.delta_sweep,
+            (std::vector<Timestamp>{300, 600, 900, 1200, 1500}));
+  EXPECT_EQ(passenger.phi_sweep, (std::vector<Flow>{1, 2, 3, 4, 5}));
+}
+
+TEST(PresetsTest, TimeSampleCountsMatchFig13) {
+  EXPECT_EQ(GetPreset(DatasetKind::kBitcoin).num_time_samples, 5);
+  EXPECT_EQ(GetPreset(DatasetKind::kFacebook).num_time_samples, 5);
+  EXPECT_EQ(GetPreset(DatasetKind::kPassenger).num_time_samples, 4);
+}
+
+TEST(PresetsTest, PresetByName) {
+  StatusOr<DatasetPreset> p = PresetByName("facebook");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->kind, DatasetKind::kFacebook);
+  EXPECT_FALSE(PresetByName("twitter").ok());
+}
+
+TEST(PresetsTest, GenerateDatasetSmallScale) {
+  TimeSeriesGraph g =
+      GenerateDataset(GetPreset(DatasetKind::kPassenger), 0.05);
+  TimeSeriesGraph::Stats stats = g.ComputeStats();
+  EXPECT_GT(stats.num_interactions, 0);
+  EXPECT_GT(stats.num_connected_pairs, 0);
+  // Downscaling shrinks the zone set too.
+  EXPECT_LT(stats.num_vertices,
+            GetPreset(DatasetKind::kPassenger).config.num_vertices);
+}
+
+TEST(PresetsTest, PassengerZonesFixedAtFullScale) {
+  TimeSeriesGraph g =
+      GenerateDataset(GetPreset(DatasetKind::kPassenger), 1.0);
+  EXPECT_EQ(g.num_vertices(), 289);
+}
+
+TEST(PresetsTest, ScaleGrowsInteractionCount) {
+  const DatasetPreset& preset = GetPreset(DatasetKind::kPassenger);
+  int64_t small =
+      GenerateDataset(preset, 0.05).ComputeStats().num_interactions;
+  int64_t large =
+      GenerateDataset(preset, 0.2).ComputeStats().num_interactions;
+  EXPECT_GT(large, small);
+}
+
+TEST(PresetsTest, GenerationIsDeterministic) {
+  const DatasetPreset& preset = GetPreset(DatasetKind::kBitcoin);
+  TimeSeriesGraph a = GenerateDataset(preset, 0.05);
+  TimeSeriesGraph b = GenerateDataset(preset, 0.05);
+  ASSERT_EQ(a.num_pairs(), b.num_pairs());
+  TimeSeriesGraph::Stats sa = a.ComputeStats();
+  TimeSeriesGraph::Stats sb = b.ComputeStats();
+  EXPECT_EQ(sa.num_interactions, sb.num_interactions);
+  EXPECT_EQ(sa.avg_flow_per_edge, sb.avg_flow_per_edge);
+}
+
+TEST(PresetsDeathTest, NonPositiveScaleAborts) {
+  EXPECT_DEATH(GenerateDataset(GetPreset(DatasetKind::kBitcoin), 0.0),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,168 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace flowmotif {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++seen[static_cast<size_t>(rng.NextBounded(5))];
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 100);  // roughly uniform: expectation 200
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);  // mean = 1/rate
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Pareto(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.15);  // alpha*xmin/(alpha-1) = 2
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.Zipf(10, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    ++counts[static_cast<size_t>(v - 1)];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  // Rank-1 frequency should be near 1/H_10 ~ 0.341.
+  EXPECT_NEAR(counts[0] / 20000.0, 0.341, 0.03);
+}
+
+TEST(RngTest, ZipfCacheHandlesParameterChange) {
+  Rng rng(21);
+  EXPECT_LE(rng.Zipf(5, 1.0), 5);
+  EXPECT_LE(rng.Zipf(3, 0.5), 3);  // different (n, s) rebuilds the CDF
+  EXPECT_LE(rng.Zipf(5, 1.0), 5);
+}
+
+TEST(RngTest, PoissonMatchesMeanSmallAndLarge) {
+  Rng rng(23);
+  double sum_small = 0.0;
+  double sum_large = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_small += static_cast<double>(rng.Poisson(2.5));
+    sum_large += static_cast<double>(rng.Poisson(80.0));  // normal approx
+  }
+  EXPECT_NEAR(sum_small / n, 2.5, 0.1);
+  EXPECT_NEAR(sum_large / n, 80.0, 0.5);
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElementsAndPermutes) {
+  Rng rng(31);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(33);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,100 @@
+#include "core/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flowmotif {
+namespace {
+
+EdgeSeries Series(std::vector<Timestamp> times) {
+  std::vector<Interaction> interactions;
+  for (Timestamp t : times) interactions.push_back({t, 1.0});
+  return EdgeSeries(interactions);
+}
+
+TEST(SlidingWindowTest, PaperFig7WindowPositions) {
+  // e1 anchors: 10, 13, 15, 18; e3 elements: 14, 19, 24, 25; delta = 10.
+  // The paper processes [10,20], skips [13,23] (no new e3 element in
+  // (20,23]), processes [15,25], and [18,28] adds nothing new.
+  EdgeSeries first = Series({10, 13, 15, 18});
+  EdgeSeries last = Series({14, 19, 24, 25});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (Window{10, 20}));
+  EXPECT_EQ(windows[1], (Window{15, 25}));
+}
+
+TEST(SlidingWindowTest, FirstWindowNeedsSomeLastEdgeElement) {
+  EdgeSeries first = Series({10, 20});
+  EdgeSeries last = Series({35});
+  // [10,20] has no e_m element; [20,30] has none either.
+  EXPECT_TRUE(ComputeProcessedWindows(first, last, 10).empty());
+  // With delta 15, [20,35] catches 35.
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 15);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (Window{20, 35}));
+}
+
+TEST(SlidingWindowTest, ElementAtAnchorCountsForFirstWindow) {
+  // Single-edge motifs: first == last; the anchor element itself must
+  // satisfy the novelty rule of the first window.
+  EdgeSeries series = Series({5, 9});
+  std::vector<Window> windows = ComputeProcessedWindows(series, series, 3);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (Window{5, 8}));
+  EXPECT_EQ(windows[1], (Window{9, 12}));
+}
+
+TEST(SlidingWindowTest, DuplicateAnchorsProduceOneWindow) {
+  EdgeSeries first = Series({10, 10, 12});
+  EdgeSeries last = Series({11, 21, 22});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (Window{10, 20}));
+  EXPECT_EQ(windows[1], (Window{12, 22}));
+}
+
+TEST(SlidingWindowTest, EveryAnchorNovelWhenLastEdgeDense) {
+  EdgeSeries first = Series({0, 10, 20});
+  EdgeSeries last = Series({5, 15, 25});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], (Window{0, 10}));
+  EXPECT_EQ(windows[1], (Window{10, 20}));
+  EXPECT_EQ(windows[2], (Window{20, 30}));
+}
+
+TEST(SlidingWindowTest, EmptySeriesYieldNoWindows) {
+  EdgeSeries empty;
+  EdgeSeries some = Series({1, 2, 3});
+  EXPECT_TRUE(ComputeProcessedWindows(empty, some, 10).empty());
+  EXPECT_TRUE(ComputeProcessedWindows(some, empty, 10).empty());
+}
+
+TEST(SlidingWindowTest, ZeroDeltaWindows) {
+  // delta = 0: a window is a single instant; only anchors coinciding
+  // with a last-edge element qualify.
+  EdgeSeries first = Series({10, 20});
+  EdgeSeries last = Series({10, 30});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 0);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (Window{10, 10}));
+}
+
+TEST(SlidingWindowTest, WindowsAreOrderedAndNonRedundant) {
+  EdgeSeries first = Series({1, 2, 3, 4, 5, 6, 7, 8});
+  EdgeSeries last = Series({3, 9, 12});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 4);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_LT(windows[i - 1].start, windows[i].start);
+    // Each processed window must contain a last-edge element after the
+    // previous window's end.
+    EdgeSeries last_copy = Series({3, 9, 12});
+    EXPECT_TRUE(last_copy.HasElementInOpenClosed(windows[i - 1].end,
+                                                 windows[i].end));
+  }
+}
+
+}  // namespace
+}  // namespace flowmotif

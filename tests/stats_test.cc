@@ -1,0 +1,91 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace flowmotif {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, MeanSimple) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({5}), 5.0);
+}
+
+TEST(StatsTest, StdDevOfConstantSampleIsZero) {
+  EXPECT_EQ(StdDev({3, 3, 3, 3}), 0.0);
+  EXPECT_EQ(StdDev({3}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+}
+
+TEST(StatsTest, StdDevPopulationFormula) {
+  // Population sd of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 17.5);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, SummarizeComputesAllFields) {
+  SampleSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, SummarizeEmptyIsZeroed) {
+  SampleSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, ZScoreMatchesDefinition) {
+  std::vector<double> sample{2, 4, 4, 4, 5, 5, 7, 9};  // mean 5, sd 2
+  EXPECT_DOUBLE_EQ(ZScore(9.0, sample), 2.0);
+  EXPECT_DOUBLE_EQ(ZScore(5.0, sample), 0.0);
+  EXPECT_DOUBLE_EQ(ZScore(1.0, sample), -2.0);
+}
+
+TEST(StatsTest, ZScoreDegenerateSample) {
+  std::vector<double> constant{5, 5, 5};
+  EXPECT_EQ(ZScore(5.0, constant), 0.0);
+  EXPECT_TRUE(std::isinf(ZScore(6.0, constant)));
+  EXPECT_GT(ZScore(6.0, constant), 0.0);
+  EXPECT_LT(ZScore(4.0, constant), 0.0);
+}
+
+TEST(StatsTest, EmpiricalPValueCountsGreaterOrEqual) {
+  std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(6.0, sample), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(3.0, sample), 0.6);  // 3,4,5
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(0.0, sample), 1.0);
+}
+
+TEST(StatsTest, ToStringRendersSummary) {
+  SampleSummary s = Summarize({1, 2, 3});
+  std::string text = ToString(s);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,152 @@
+#include "core/structural_match.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::PaperFig2Graph;
+
+Motif M33() { return *Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)"); }
+Motif Chain3() { return *Motif::FromSpanningPath({0, 1, 2}, "M(3,2)"); }
+
+TEST(StructuralMatchTest, PaperFig6HasExactlySixMatchesOfM33) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StructuralMatcher matcher(g, M33());
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  ASSERT_EQ(matches.size(), 6u);
+
+  // Two triangles, each contributing three rotations. Binding is
+  // (node0, node1, node2) as graph vertices; u1=0, u2=1, u3=2, u4=3.
+  std::set<MatchBinding> expected{
+      {0, 1, 2}, {1, 2, 0}, {2, 0, 1},  // u1->u2->u3->u1
+      {1, 2, 3}, {2, 3, 1}, {3, 1, 2},  // u2->u3->u4->u2
+  };
+  std::set<MatchBinding> actual(matches.begin(), matches.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(StructuralMatchTest, CountMatchesAgreesWithFindAll) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  for (const Motif& motif : MotifCatalog::All()) {
+    StructuralMatcher matcher(g, motif);
+    EXPECT_EQ(matcher.CountMatches(),
+              static_cast<int64_t>(matcher.FindAllMatches().size()))
+        << motif.name();
+  }
+}
+
+TEST(StructuralMatchTest, ChainMatchesOnPaperGraph) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StructuralMatcher matcher(g, Chain3());
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  // Every match must map motif edges onto existing pairs with distinct
+  // vertices.
+  for (const MatchBinding& m : matches) {
+    EXPECT_TRUE(matcher.IsMatch(m));
+  }
+  // Spot-check a known 2-path: u3->u1->u2 (2,0,1).
+  EXPECT_NE(std::find(matches.begin(), matches.end(),
+                      MatchBinding{2, 0, 1}),
+            matches.end());
+  // u1->u2->u1 would not be injective; u2->u3->u4 (1,2,3) exists.
+  EXPECT_NE(std::find(matches.begin(), matches.end(),
+                      MatchBinding{1, 2, 3}),
+            matches.end());
+}
+
+TEST(StructuralMatchTest, InjectivityExcludesTwoCycleAsChain) {
+  // 0->1->0: a chain match would need node2 == node0, which injectivity
+  // forbids.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0}, {1, 0, 2, 1.0}});
+  StructuralMatcher matcher(g, Chain3());
+  EXPECT_EQ(matcher.CountMatches(), 0);
+}
+
+TEST(StructuralMatchTest, TwoCycleMotifMatchesBothRotations) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0}, {1, 0, 2, 1.0}});
+  Motif two_cycle = *Motif::FromSpanningPath({0, 1, 0});
+  StructuralMatcher matcher(g, two_cycle);
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  std::set<MatchBinding> actual(matches.begin(), matches.end());
+  EXPECT_EQ(actual, (std::set<MatchBinding>{{0, 1}, {1, 0}}));
+}
+
+TEST(StructuralMatchTest, EmptyGraphHasNoMatches) {
+  TimeSeriesGraph g = TimeSeriesGraph::Build(InteractionGraph());
+  StructuralMatcher matcher(g, Chain3());
+  EXPECT_EQ(matcher.CountMatches(), 0);
+}
+
+TEST(StructuralMatchTest, SelfLoopsNeverMatch) {
+  TimeSeriesGraph g = MakeGraph({{0, 0, 1, 1.0}, {0, 1, 2, 1.0},
+                                 {1, 1, 3, 1.0}});
+  Motif edge = *Motif::FromSpanningPath({0, 1});
+  StructuralMatcher matcher(g, edge);
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (MatchBinding{0, 1}));
+}
+
+TEST(StructuralMatchTest, VisitorEarlyStop) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StructuralMatcher matcher(g, M33());
+  int visited = 0;
+  matcher.FindAll([&visited](const MatchBinding&) {
+    ++visited;
+    return visited < 2;  // stop after the second match
+  });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(StructuralMatchTest, MatchesAreDeterministic) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StructuralMatcher matcher(g, M33());
+  EXPECT_EQ(matcher.FindAllMatches(), matcher.FindAllMatches());
+}
+
+TEST(StructuralMatchTest, IsMatchRejectsBadBindings) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  StructuralMatcher matcher(g, M33());
+  EXPECT_FALSE(matcher.IsMatch({0, 1}));        // wrong size
+  EXPECT_FALSE(matcher.IsMatch({0, 1, 1}));     // not injective
+  EXPECT_FALSE(matcher.IsMatch({0, 1, 99}));    // out of range
+  EXPECT_FALSE(matcher.IsMatch({0, 2, 1}));     // u1->u3 missing
+  EXPECT_TRUE(matcher.IsMatch({0, 1, 2}));
+}
+
+TEST(StructuralMatchTest, FourCycleMotif) {
+  // Square 0->1->2->3->0 plus a chord; M(4,4)A should find 4 rotations.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0},
+                                 {1, 2, 2, 1.0},
+                                 {2, 3, 3, 1.0},
+                                 {3, 0, 4, 1.0},
+                                 {0, 2, 5, 1.0}});
+  Motif square = *MotifCatalog::ByName("M(4,4)A");
+  StructuralMatcher matcher(g, square);
+  EXPECT_EQ(matcher.CountMatches(), 4);
+}
+
+TEST(StructuralMatchTest, TailIntoCycleMotif) {
+  // M(4,4)B = 0-1-2-3-1: tail 0->1 into triangle 1->2->3->1.
+  TimeSeriesGraph g = MakeGraph({{9, 1, 1, 1.0},   // tail
+                                 {1, 2, 2, 1.0},
+                                 {2, 3, 3, 1.0},
+                                 {3, 1, 4, 1.0}});
+  Motif motif = *MotifCatalog::ByName("M(4,4)B");
+  StructuralMatcher matcher(g, motif);
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (MatchBinding{9, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace flowmotif

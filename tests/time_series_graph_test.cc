@@ -1,0 +1,163 @@
+#include "graph/time_series_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::PaperFig2Graph;
+
+TEST(TimeSeriesGraphTest, BuildMergesMultiEdgesIntoSeries) {
+  // The paper's Fig. 5 example: two u1->u2 edges merge into one pair.
+  TimeSeriesGraph g = PaperFig2Graph();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_pairs(), 7);
+
+  const EdgeSeries* series = g.FindSeries(0, 1);
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ(series->at(0), (Interaction{13, 5.0}));
+  EXPECT_EQ(series->at(1), (Interaction{15, 7.0}));
+}
+
+TEST(TimeSeriesGraphTest, SeriesAreTimeSorted) {
+  TimeSeriesGraph g = MakeGraph({{0, 1, 30, 1.0}, {0, 1, 10, 2.0},
+                                 {0, 1, 20, 3.0}});
+  const EdgeSeries* series = g.FindSeries(0, 1);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->time(0), 10);
+  EXPECT_EQ(series->time(1), 20);
+  EXPECT_EQ(series->time(2), 30);
+}
+
+TEST(TimeSeriesGraphTest, FindSeriesMissingPairs) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  EXPECT_EQ(g.FindSeries(0, 2), nullptr);  // u1->u3 does not exist
+  EXPECT_EQ(g.FindSeries(1, 0), nullptr);  // u2->u1 does not exist
+  EXPECT_EQ(g.FindSeries(-1, 0), nullptr);
+  EXPECT_EQ(g.FindSeries(99, 0), nullptr);
+}
+
+TEST(TimeSeriesGraphTest, OutAdjacencyRanges) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  // u4 (=3) has out-edges to u1, u2 and u3, sorted by destination.
+  EXPECT_EQ(g.OutDegree(3), 3);
+  std::vector<VertexId> dsts;
+  for (size_t p = g.OutBegin(3); p < g.OutEnd(3); ++p) {
+    dsts.push_back(g.pair(p).dst);
+  }
+  EXPECT_EQ(dsts, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(g.OutDegree(1), 1);  // u2 -> u3 only
+}
+
+TEST(TimeSeriesGraphTest, FindPairIndexConsistentWithPairs) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  for (size_t i = 0; i < static_cast<size_t>(g.num_pairs()); ++i) {
+    const auto& pe = g.pair(i);
+    EXPECT_EQ(g.FindPairIndex(pe.src, pe.dst), static_cast<int64_t>(i));
+  }
+}
+
+TEST(TimeSeriesGraphTest, StatsMatchPaperExample) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph::Stats stats = g.ComputeStats();
+  EXPECT_EQ(stats.num_vertices, 4);
+  EXPECT_EQ(stats.num_connected_pairs, 7);
+  EXPECT_EQ(stats.num_interactions, 10);
+  // Total flow 5+7+20+10+5+4+7+2+5+10 = 75 over 10 interactions.
+  EXPECT_DOUBLE_EQ(stats.avg_flow_per_edge, 7.5);
+  EXPECT_EQ(stats.min_time, 1);
+  EXPECT_EQ(stats.max_time, 23);
+}
+
+TEST(TimeSeriesGraphTest, EmptyGraphStats) {
+  TimeSeriesGraph g = TimeSeriesGraph::Build(InteractionGraph());
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_pairs(), 0);
+  TimeSeriesGraph::Stats stats = g.ComputeStats();
+  EXPECT_EQ(stats.num_interactions, 0);
+  EXPECT_EQ(stats.avg_flow_per_edge, 0.0);
+}
+
+TEST(TimeSeriesGraphTest, PermutedFlowsKeepsStructureAndTimestamps) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  Rng rng(99);
+  TimeSeriesGraph r = g.WithPermutedFlows(&rng);
+
+  ASSERT_EQ(r.num_pairs(), g.num_pairs());
+  for (size_t i = 0; i < static_cast<size_t>(g.num_pairs()); ++i) {
+    EXPECT_EQ(r.pair(i).src, g.pair(i).src);
+    EXPECT_EQ(r.pair(i).dst, g.pair(i).dst);
+    ASSERT_EQ(r.pair(i).series.size(), g.pair(i).series.size());
+    for (size_t j = 0; j < g.pair(i).series.size(); ++j) {
+      EXPECT_EQ(r.pair(i).series.time(j), g.pair(i).series.time(j));
+    }
+  }
+}
+
+TEST(TimeSeriesGraphTest, PermutedFlowsPreservesFlowMultiset) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  Rng rng(99);
+  TimeSeriesGraph r = g.WithPermutedFlows(&rng);
+
+  auto collect = [](const TimeSeriesGraph& graph) {
+    std::vector<Flow> flows;
+    for (const auto& pe : graph.pairs()) {
+      for (size_t j = 0; j < pe.series.size(); ++j) {
+        flows.push_back(pe.series.flow(j));
+      }
+    }
+    std::sort(flows.begin(), flows.end());
+    return flows;
+  };
+  EXPECT_EQ(collect(g), collect(r));
+}
+
+TEST(TimeSeriesGraphTest, PermutedFlowsActuallyShuffles) {
+  // With 10 distinct-ish flows the chance of an identity permutation is
+  // negligible; use a few seeds to be safe.
+  TimeSeriesGraph g = PaperFig2Graph();
+  bool changed = false;
+  for (uint64_t seed = 1; seed <= 3 && !changed; ++seed) {
+    Rng rng(seed);
+    TimeSeriesGraph r = g.WithPermutedFlows(&rng);
+    for (size_t i = 0; i < static_cast<size_t>(g.num_pairs()); ++i) {
+      for (size_t j = 0; j < g.pair(i).series.size(); ++j) {
+        if (r.pair(i).series.flow(j) != g.pair(i).series.flow(j)) {
+          changed = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(TimeSeriesGraphTest, PermutationIsDeterministicPerSeed) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  Rng rng1(7);
+  Rng rng2(7);
+  TimeSeriesGraph a = g.WithPermutedFlows(&rng1);
+  TimeSeriesGraph b = g.WithPermutedFlows(&rng2);
+  for (size_t i = 0; i < static_cast<size_t>(g.num_pairs()); ++i) {
+    for (size_t j = 0; j < g.pair(i).series.size(); ++j) {
+      EXPECT_EQ(a.pair(i).series.flow(j), b.pair(i).series.flow(j));
+    }
+  }
+}
+
+TEST(TimeSeriesGraphTest, DebugStringMentionsCounts) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("vertices=4"), std::string::npos);
+  EXPECT_NE(s.find("pairs=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowmotif

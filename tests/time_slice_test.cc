@@ -1,0 +1,77 @@
+#include "graph/time_slice.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::PaperFig2Graph;
+
+TEST(TimeSliceTest, SliceKeepsOnlyEarlyInteractions) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph sliced = SliceByMaxTime(g, 15);
+
+  TimeSeriesGraph::Stats stats = sliced.ComputeStats();
+  // Interactions at t <= 15: (13,5),(15,7),(10,10),(1,2),(3,5),(11,10).
+  EXPECT_EQ(stats.num_interactions, 6);
+  EXPECT_EQ(stats.max_time, 15);
+  // Vertex set is preserved even if some vertices lose all edges.
+  EXPECT_EQ(sliced.num_vertices(), g.num_vertices());
+}
+
+TEST(TimeSliceTest, SliceDropsEmptyPairs) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph sliced = SliceByMaxTime(g, 15);
+  EXPECT_EQ(sliced.FindSeries(1, 2), nullptr);   // u2->u3 was at t=18
+  EXPECT_NE(sliced.FindSeries(0, 1), nullptr);   // u1->u2 kept
+}
+
+TEST(TimeSliceTest, SliceAtMaxTimeIsIdentity) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph sliced = SliceByMaxTime(g, 23);
+  EXPECT_EQ(sliced.ComputeStats().num_interactions, 10);
+  EXPECT_EQ(sliced.num_pairs(), g.num_pairs());
+}
+
+TEST(TimeSliceTest, SliceBeforeEverythingIsEmpty) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph sliced = SliceByMaxTime(g, 0);
+  EXPECT_EQ(sliced.ComputeStats().num_interactions, 0);
+  EXPECT_EQ(sliced.num_pairs(), 0);
+}
+
+TEST(TimeSliceTest, PartialSeriesTruncated) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  TimeSeriesGraph sliced = SliceByMaxTime(g, 13);
+  const EdgeSeries* series = sliced.FindSeries(0, 1);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 1u);  // only (13,5); (15,7) is cut
+  EXPECT_EQ(series->time(0), 13);
+}
+
+TEST(TimeSliceTest, EqualTimePrefixesSpanTheTimeline) {
+  TimeSeriesGraph g = PaperFig2Graph();  // times 1..23
+  std::vector<Timestamp> cuts = EqualTimePrefixes(g, 4);
+  ASSERT_EQ(cuts.size(), 4u);
+  EXPECT_LT(cuts[0], cuts[1]);
+  EXPECT_LT(cuts[1], cuts[2]);
+  EXPECT_LT(cuts[2], cuts[3]);
+  EXPECT_EQ(cuts[3], 23);  // last prefix covers everything
+}
+
+TEST(TimeSliceTest, PrefixSampleSizesAreMonotone) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  std::vector<Timestamp> cuts = EqualTimePrefixes(g, 4);
+  int64_t prev = -1;
+  for (Timestamp cut : cuts) {
+    int64_t count = SliceByMaxTime(g, cut).ComputeStats().num_interactions;
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+  EXPECT_EQ(prev, 10);
+}
+
+}  // namespace
+}  // namespace flowmotif

@@ -1,0 +1,120 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/motif.h"
+#include "core/structural_match.h"
+#include "test_util.h"
+
+namespace flowmotif {
+namespace {
+
+using testing_util::PaperFig2Graph;
+using testing_util::PaperFig7Graph;
+
+Motif M33() { return *Motif::FromSpanningPath({0, 1, 2, 0}, "M(3,3)"); }
+
+TEST(TopKTest, Top1OnFig7IsThePaperInstance) {
+  // Table 2 / Sec. 5.1: the top-1 instance has flow 5 and is
+  // [e1<-{(10,5)}, e2<-{(11,3),(16,3)}, e3<-{(19,6)}].
+  TimeSeriesGraph graph = PaperFig7Graph();
+  TopKSearcher searcher(graph, M33(), 10, 1);
+  TopKSearcher::Result result = searcher.Run();
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.entries[0].flow, 5.0);
+  EXPECT_EQ(result.entries[0].instance.edge_sets[1],
+            (std::vector<Interaction>{{11, 3.0}, {16, 3.0}}));
+}
+
+TEST(TopKTest, FlowsAreSortedDescending) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  TopKSearcher searcher(graph, M33(), 10, 10);
+  TopKSearcher::Result result = searcher.Run();
+  ASSERT_GE(result.entries.size(), 2u);
+  for (size_t i = 1; i < result.entries.size(); ++i) {
+    EXPECT_GE(result.entries[i - 1].flow, result.entries[i].flow);
+  }
+}
+
+TEST(TopKTest, Top2OnFig2) {
+  // Instance flows on the running example with delta 10 (phi ignored for
+  // top-k): the two phi=7 instances have flows 10 and 7.
+  TimeSeriesGraph graph = PaperFig2Graph();
+  TopKSearcher searcher(graph, M33(), 10, 2);
+  TopKSearcher::Result result = searcher.Run();
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.entries[0].flow, 10.0);
+  EXPECT_DOUBLE_EQ(result.entries[1].flow, 7.0);
+}
+
+TEST(TopKTest, KthFlowAccessor) {
+  TimeSeriesGraph graph = PaperFig2Graph();
+  TopKSearcher searcher(graph, M33(), 10, 2);
+  TopKSearcher::Result result = searcher.Run();
+  EXPECT_DOUBLE_EQ(result.KthFlow(1), 10.0);
+  EXPECT_DOUBLE_EQ(result.KthFlow(2), 7.0);
+  EXPECT_EQ(result.KthFlow(3), 0.0);  // fewer than 3 found
+  EXPECT_EQ(result.KthFlow(0), 0.0);
+}
+
+TEST(TopKTest, KLargerThanInstanceCountReturnsAll) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  TopKSearcher searcher(graph, M33(), 10, 100);
+  TopKSearcher::Result result = searcher.Run();
+  // Fig. 7's match yields 4 instances; the two other rotations of the
+  // single triangle contribute one each (hand-traced).
+  EXPECT_EQ(result.entries.size(), 6u);
+}
+
+TEST(TopKTest, EntriesAreValidMaximalInstances) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  Motif m = M33();
+  TopKSearcher searcher(g, m, 10, 10);
+  for (const auto& entry : searcher.Run().entries) {
+    Status s = ValidateInstance(g, m, entry.instance, 10, 0.0);
+    EXPECT_TRUE(s.ok()) << s;
+    EXPECT_DOUBLE_EQ(entry.instance.InstanceFlow(), entry.flow);
+  }
+}
+
+TEST(TopKTest, RunOnMatchesRestrictsScope) {
+  TimeSeriesGraph g = PaperFig2Graph();
+  Motif m = M33();
+  // Only the second triangle's canonical rotation.
+  TopKSearcher searcher(g, m, 10, 5);
+  TopKSearcher::Result result = searcher.RunOnMatches({{1, 2, 3}});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.entries[0].flow, 7.0);
+}
+
+TEST(TopKTest, TopKFlowsDecreaseAsKGrows) {
+  // The Fig. 11 property: the flow of the k-th instance is non-increasing
+  // in k.
+  TimeSeriesGraph g = PaperFig7Graph();
+  Motif m = M33();
+  Flow prev = std::numeric_limits<Flow>::infinity();
+  for (int64_t k : {1, 2, 3, 4}) {
+    TopKSearcher searcher(g, m, 10, k);
+    Flow kth = searcher.Run().KthFlow(static_cast<size_t>(k));
+    EXPECT_LE(kth, prev);
+    prev = kth;
+  }
+}
+
+TEST(TopKTest, StatsExposeUnderlyingEnumeration) {
+  TimeSeriesGraph graph = PaperFig7Graph();
+  TopKSearcher searcher(graph, M33(), 10, 1);
+  TopKSearcher::Result result = searcher.Run();
+  EXPECT_GT(result.stats.num_structural_matches, 0);
+  EXPECT_GT(result.stats.num_windows_processed, 0);
+}
+
+TEST(TopKDeathTest, KMustBePositive) {
+  TimeSeriesGraph g = PaperFig7Graph();
+  EXPECT_DEATH(TopKSearcher(g, M33(), 10, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace flowmotif
