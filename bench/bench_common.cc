@@ -6,7 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "util/flags.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace flowmotif {
 namespace bench {
@@ -24,6 +26,37 @@ double BenchScale() {
     return v;
   }();
   return kScale;
+}
+
+namespace {
+int g_bench_threads = 1;
+}  // namespace
+
+void InitBenchFlags(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.AddInt64("threads", 1,
+                 "phase-P2 worker threads (0 = all hardware threads)");
+  const Status status = flags.Parse(argc, argv);
+  FLOWMOTIF_CHECK(status.ok()) << status.ToString() << "\n"
+                               << flags.HelpString();
+  g_bench_threads = static_cast<int>(flags.GetInt64("threads"));
+  FLOWMOTIF_CHECK_GE(g_bench_threads, 0);
+  // Resolve "all hardware threads" here so reports print the real
+  // count instead of "0 threads".
+  if (g_bench_threads == 0) {
+    g_bench_threads = ThreadPool::DefaultParallelism();
+  }
+}
+
+int BenchThreads() { return g_bench_threads; }
+
+QueryOptions BenchQueryOptions(QueryMode mode, Timestamp delta, Flow phi) {
+  QueryOptions options;
+  options.mode = mode;
+  options.delta = delta;
+  options.phi = phi;
+  options.num_threads = BenchThreads();
+  return options;
 }
 
 const TimeSeriesGraph& BenchGraph(const DatasetPreset& preset) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/motif.h"
+#include "engine/query_engine.h"
 #include "gen/presets.h"
 #include "graph/time_series_graph.h"
 
@@ -16,6 +17,19 @@ namespace bench {
 /// smoke-test the full bench suite quickly:
 ///   FLOWMOTIF_BENCH_SCALE=0.1 ./build/bench/bench_fig9_delta
 double BenchScale();
+
+/// Parses the shared bench command line. Currently one flag:
+/// --threads=N (phase-P2 worker threads, 0 = all hardware threads,
+/// default 1). Unknown flags abort with a usage message so typos don't
+/// silently benchmark the wrong configuration. Call first in main().
+void InitBenchFlags(int argc, const char* const* argv);
+
+/// The --threads value of InitBenchFlags (1 when never parsed).
+int BenchThreads();
+
+/// QueryOptions preset for harnesses going through the QueryEngine
+/// facade: the given mode and thresholds, plus BenchThreads() workers.
+QueryOptions BenchQueryOptions(QueryMode mode, Timestamp delta, Flow phi);
 
 /// Generates (and memoizes per process) the dataset for a preset at
 /// BenchScale().

@@ -1,6 +1,8 @@
 // motif_search_cli — run flow motif queries against an edge-list file
 // from the command line. The Swiss-army knife for adopting the library
-// on your own interaction data.
+// on your own interaction data. All modes go through the QueryEngine
+// facade, so --threads=N parallelizes any of them with results
+// byte-identical to the serial run.
 //
 // Input format: one interaction per line, "src dst timestamp flow",
 // '#' comments allowed (see graph/graph_io.h).
@@ -9,23 +11,20 @@
 //   motif_search_cli <edges.txt> --motif="M(3,3)" --delta=600 --phi=5
 //   motif_search_cli <edges.txt> --motif="0-1-2-3" --mode=topk --k=10
 //   motif_search_cli <edges.txt> --motif="0>1,0>2" --mode=count
-//   motif_search_cli <edges.txt> --motif="M(4,3)" --mode=top1
+//   motif_search_cli <edges.txt> --motif="M(4,3)" --mode=top1 --threads=8
 //
 // Modes:
-//   enumerate  print every instance (capped by --limit)     [default]
-//   count      count instances without constructing them
-//   topk       the --k instances with the largest flow
-//   top1       the single best instance via the DP module
+//   enumerate    print every instance (capped by --limit)    [default]
+//   count        count instances without constructing them
+//   topk         the --k instances with the largest flow
+//   top1         the single best instance via the DP module
+//   significance z-score / p-value vs flow-permuted graphs
 #include <iostream>
 
-#include "core/counter.h"
-#include "core/dp.h"
-#include "core/enumerator.h"
 #include "core/motif_catalog.h"
-#include "core/topk.h"
+#include "engine/query_engine.h"
 #include "graph/graph_io.h"
 #include "util/flags.h"
-#include "util/timer.h"
 
 using namespace flowmotif;
 
@@ -39,6 +38,17 @@ StatusOr<Motif> ResolveMotif(const std::string& spec) {
   return Motif::Parse(spec);
 }
 
+StatusOr<QueryMode> ResolveMode(const std::string& mode) {
+  if (mode == "enumerate") return QueryMode::kEnumerate;
+  if (mode == "count") return QueryMode::kCount;
+  if (mode == "topk") return QueryMode::kTopK;
+  if (mode == "top1") return QueryMode::kTop1;
+  if (mode == "significance") return QueryMode::kSignificance;
+  return Status::InvalidArgument(
+      "unknown --mode=" + mode +
+      " (expected enumerate|count|topk|top1|significance)");
+}
+
 void PrintInstance(const MotifInstance& instance) {
   std::cout << "  vertices(";
   for (size_t i = 0; i < instance.binding.size(); ++i) {
@@ -49,18 +59,39 @@ void PrintInstance(const MotifInstance& instance) {
             << "\n";
 }
 
+void PrintFooter(const QueryResult& result) {
+  std::cout << "[" << result.threads_used << " thread"
+            << (result.threads_used == 1 ? "" : "s") << ", ";
+  if (result.mode == QueryMode::kSignificance) {
+    // Significance parallelizes over whole graphs, not match batches,
+    // and does not split its time into the two phases.
+    std::cout << result.significance.random_counts.size() + 1
+              << " graph counts, " << result.wall_seconds << "s wall]\n";
+    return;
+  }
+  std::cout << result.num_batches << " batches, " << result.wall_seconds
+            << "s wall, P1 " << result.stats.phase1_seconds << "s, P2 "
+            << result.stats.phase2_seconds << "s cpu]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("motif", "M(3,2)",
                   "catalog name, path (0-1-2), or edge list (0>1,0>2)");
-  flags.AddString("mode", "enumerate", "enumerate|count|topk|top1");
+  flags.AddString("mode", "enumerate",
+                  "enumerate|count|topk|top1|significance");
   flags.AddInt64("delta", 600, "max time window length");
   flags.AddDouble("phi", 0.0, "min aggregated flow per motif edge");
   flags.AddInt64("k", 10, "k for --mode=topk");
   flags.AddInt64("limit", 20, "max instances printed in enumerate mode");
   flags.AddBool("strict", false, "enforce strict Def. 3.3 maximality");
+  flags.AddInt64("threads", 1,
+                 "phase-P2 worker threads (0 = all hardware threads)");
+  flags.AddInt64("random-graphs", 20,
+                 "randomized graphs for --mode=significance");
+  flags.AddInt64("seed", 1, "RNG seed for --mode=significance");
 
   Status parse_status = flags.Parse(argc, argv);
   if (!parse_status.ok()) {
@@ -89,62 +120,98 @@ int main(int argc, char** argv) {
     std::cerr << motif.status() << "\n";
     return 1;
   }
-  const Timestamp delta = flags.GetInt64("delta");
-  const Flow phi = flags.GetDouble("phi");
-  const std::string& mode = flags.GetString("mode");
-  std::cout << "Motif " << motif->name() << " (" << motif->PathString()
-            << "), delta=" << delta << ", phi=" << phi << ", mode=" << mode
-            << "\n\n";
-
-  WallTimer timer;
-  if (mode == "enumerate") {
-    EnumerationOptions options;
-    options.delta = delta;
-    options.phi = phi;
-    options.strict_maximality = flags.GetBool("strict");
-    FlowMotifEnumerator enumerator(graph, *motif, options);
-    const int64_t limit = flags.GetInt64("limit");
-    int64_t shown = 0;
-    EnumerationResult result = enumerator.Run([&](const InstanceView& view) {
-      if (shown < limit) {
-        PrintInstance(view.Materialize());
-        ++shown;
-        if (shown == limit) std::cout << "  ... (limit reached)\n";
-      }
-      return true;
-    });
-    std::cout << "\n" << result.num_instances << " instances from "
-              << result.num_structural_matches << " structural matches, "
-              << result.num_windows_processed << " windows ("
-              << timer.ElapsedSeconds() << "s)\n";
-  } else if (mode == "count") {
-    InstanceCounter counter(graph, *motif, delta, phi);
-    InstanceCounter::Result result = counter.Run();
-    std::cout << result.num_instances << " instances ("
-              << result.num_structural_matches << " matches, "
-              << result.num_windows << " windows, " << result.memo_hits
-              << " memo hits, " << timer.ElapsedSeconds() << "s)\n";
-  } else if (mode == "topk") {
-    TopKSearcher searcher(graph, *motif, delta, flags.GetInt64("k"));
-    TopKSearcher::Result result = searcher.Run();
-    for (const auto& entry : result.entries) PrintInstance(entry.instance);
-    std::cout << "\n" << result.entries.size() << " results ("
-              << timer.ElapsedSeconds() << "s)\n";
-  } else if (mode == "top1") {
-    MaxFlowDpSearcher searcher(graph, *motif, delta);
-    MaxFlowDpSearcher::Result result = searcher.Run();
-    if (!result.found) {
-      std::cout << "no instance found\n";
-    } else {
-      PrintInstance(result.best);
-      std::cout << "\nmax flow " << result.max_flow << " in window ["
-                << result.window.start << "," << result.window.end << "] ("
-                << timer.ElapsedSeconds() << "s)\n";
-    }
-  } else {
-    std::cerr << "unknown --mode=" << mode
-              << " (expected enumerate|count|topk|top1)\n";
+  StatusOr<QueryMode> mode = ResolveMode(flags.GetString("mode"));
+  if (!mode.ok()) {
+    std::cerr << mode.status() << "\n";
     return 1;
   }
+
+  QueryOptions options;
+  options.mode = *mode;
+  options.delta = flags.GetInt64("delta");
+  options.phi = flags.GetDouble("phi");
+  options.k = flags.GetInt64("k");
+  options.strict_maximality = flags.GetBool("strict");
+  options.collect_limit = flags.GetInt64("limit");
+  options.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  options.num_random_graphs =
+      static_cast<int>(flags.GetInt64("random-graphs"));
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+
+  // Validate the numeric flags here: the engine enforces the same
+  // bounds with aborting CHECKs, which are for programmer errors, not
+  // for a typo on the command line.
+  const auto reject = [](const std::string& message) {
+    std::cerr << "INVALID_ARGUMENT: " << message << "\n";
+    return 1;
+  };
+  if (options.delta < 0) return reject("--delta must be non-negative");
+  if (options.phi < 0.0) return reject("--phi must be non-negative");
+  if (options.k < 1) return reject("--k must be >= 1");
+  if (options.collect_limit < -1) {
+    return reject("--limit must be -1 (all), 0 (none), or positive");
+  }
+  if (options.num_threads < 0) {
+    return reject("--threads must be >= 0 (0 = all hardware threads)");
+  }
+  if (options.num_random_graphs < 1) {
+    return reject("--random-graphs must be >= 1");
+  }
+
+  std::cout << "Motif " << motif->name() << " (" << motif->PathString()
+            << "), delta=" << options.delta << ", phi=" << options.phi
+            << ", mode=" << flags.GetString("mode") << "\n\n";
+
+  const QueryEngine engine(graph);
+  const QueryResult result = engine.Run(*motif, options);
+
+  switch (*mode) {
+    case QueryMode::kEnumerate: {
+      for (const MotifInstance& instance : result.instances) {
+        PrintInstance(instance);
+      }
+      if (result.stats.num_instances >
+          static_cast<int64_t>(result.instances.size())) {
+        std::cout << "  ... (limit reached)\n";
+      }
+      std::cout << "\n" << result.stats.num_instances << " instances from "
+                << result.stats.num_structural_matches
+                << " structural matches, "
+                << result.stats.num_windows_processed << " windows\n";
+      break;
+    }
+    case QueryMode::kCount:
+      std::cout << result.stats.num_instances << " instances ("
+                << result.stats.num_structural_matches << " matches, "
+                << result.stats.num_windows_processed << " windows, "
+                << result.memo_hits << " memo hits)\n";
+      break;
+    case QueryMode::kTopK: {
+      for (const TopKEntry& entry : result.topk) {
+        PrintInstance(entry.instance);
+      }
+      std::cout << "\n" << result.topk.size() << " results\n";
+      break;
+    }
+    case QueryMode::kTop1:
+      if (!result.top1.found) {
+        std::cout << "no instance found\n";
+      } else {
+        PrintInstance(result.top1.best);
+        std::cout << "\nmax flow " << result.top1.max_flow << " in window ["
+                  << result.top1.window.start << ","
+                  << result.top1.window.end << "]\n";
+      }
+      break;
+    case QueryMode::kSignificance: {
+      const auto& report = result.significance;
+      std::cout << "real count " << report.real_count << ", randomized mean "
+                << report.random_summary.mean << " (sd "
+                << report.random_summary.stddev << "), z-score "
+                << report.z_score << ", p-value " << report.p_value << "\n";
+      break;
+    }
+  }
+  PrintFooter(result);
   return 0;
 }

@@ -169,16 +169,21 @@ MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatch(
 
 MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
     const std::vector<MatchBinding>& matches) const {
+  return RunOnMatches(matches.data(), matches.data() + matches.size());
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
+    const MatchBinding* begin, const MatchBinding* end) const {
   Result result;
   WallTimer timer;
   Scratch scratch;
-  for (const MatchBinding& binding : matches) {
-    const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
+  for (const MatchBinding* binding = begin; binding != end; ++binding) {
+    const std::vector<const EdgeSeries*> series = ResolveSeries(*binding);
     const std::vector<Window> windows =
         ComputeProcessedWindows(*series.front(), *series.back(), delta_);
     result.num_windows += static_cast<int64_t>(windows.size());
     for (const Window& window : windows) {
-      DpOverWindow(series, binding, window, &scratch, &result);
+      DpOverWindow(series, *binding, window, &scratch, &result);
     }
   }
   result.seconds = timer.ElapsedSeconds();

@@ -55,6 +55,14 @@ class MaxFlowDpSearcher {
   /// DP over precomputed matches only (isolates phase P2, Fig. 12).
   Result RunOnMatches(const std::vector<MatchBinding>& matches) const;
 
+  /// Same over a contiguous range [begin, end) — the engine's parallel
+  /// path hands each batch its slice of the match array without
+  /// copying. The incumbent best carries across the range, so the
+  /// admissible window bound prunes within a batch exactly as the
+  /// vector overload does.
+  Result RunOnMatches(const MatchBinding* begin,
+                      const MatchBinding* end) const;
+
   /// Top-1 within a single structural match.
   Result RunOnMatch(const MatchBinding& binding) const;
 

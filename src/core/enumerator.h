@@ -25,7 +25,10 @@ struct EnumerationOptions {
   /// When set, instances additionally need flow strictly greater than the
   /// returned value; re-evaluated on every check. This is the "floating
   /// threshold" hook used by top-k search (Sec. 5): the k-th best flow so
-  /// far replaces phi.
+  /// far replaces phi. In parallel runs the callback is invoked from
+  /// every worker concurrently — back it with SharedFlowThreshold
+  /// (core/topk.h), whose atomic k-th-best load is safe and whose bound
+  /// keeps parallel results byte-identical to serial.
   std::function<Flow()> dynamic_min_flow_exclusive;
 
   /// Paper-faithful enumeration can, in rare cross-window configurations,
@@ -56,7 +59,13 @@ struct EdgeSlice {
   size_t end = 0;  // exclusive
 
   size_t size() const { return end - begin; }
-  Flow FlowSum() const { return series->FlowSum(begin, end - 1); }
+
+  /// Aggregated flow of the slice; 0 for an empty slice. The explicit
+  /// guard matters: `end - 1` would wrap for `begin == end == 0` and only
+  /// accidentally hit EdgeSeries::FlowSum's out-of-range check.
+  Flow FlowSum() const {
+    return begin < end ? series->FlowSum(begin, end - 1) : 0.0;
+  }
 };
 
 /// A zero-copy view of one enumerated instance, valid only during the
@@ -88,6 +97,25 @@ struct EnumerationResult {
   double phase2_seconds = 0.0;        // window/instance enumeration
 
   double total_seconds() const { return phase1_seconds + phase2_seconds; }
+
+  /// Accumulates another run's counters — the reduction step of the
+  /// engine's parallel execution path, where each worker fills a local
+  /// result. All counters are sums, so merging per-batch results in
+  /// batch order reproduces the serial counters exactly. The two phase
+  /// timers also sum: in a parallel run they report aggregate CPU
+  /// seconds across workers, not wall time (QueryResult::wall_seconds
+  /// carries the latter).
+  void MergeFrom(const EnumerationResult& other) {
+    num_instances += other.num_instances;
+    num_structural_matches += other.num_structural_matches;
+    num_windows_processed += other.num_windows_processed;
+    num_phi_prunes += other.num_phi_prunes;
+    num_domination_skips += other.num_domination_skips;
+    num_strict_rejects += other.num_strict_rejects;
+    num_redundant_instances += other.num_redundant_instances;
+    phase1_seconds += other.phase1_seconds;
+    phase2_seconds += other.phase2_seconds;
+  }
 };
 
 /// The paper's two-phase flow motif enumeration algorithm (Sec. 4):

@@ -1,5 +1,7 @@
 #include "core/significance.h"
 
+#include <algorithm>
+
 #include "core/structural_match.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -29,27 +31,59 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
     matches = StructuralMatcher(graph_, motif).FindAllMatches();
   }
 
-  {
-    FlowMotifEnumerator enumerator(graph_, motif, enum_options);
-    const EnumerationResult r = options_.reuse_matches
-                                    ? enumerator.RunOnMatches(matches)
-                                    : enumerator.Run();
-    report.real_count = r.num_instances;
-  }
-
   // The RNG stream is keyed on the seed only, so randomized graph i is
   // the same regardless of which motif is analyzed — as in the paper,
-  // one set of randomized datasets serves all motifs.
+  // one set of randomized datasets serves all motifs. Generation stays
+  // serial even with a pool: each permutation advances the shared
+  // stream, and keeping it sequential guarantees thread-count-
+  // independent graphs. Only the counting (the expensive part)
+  // parallelizes, over the real graph plus every randomized one.
+  //
+  // Counting proceeds in waves of pool-width many graphs so that at
+  // most one wave of graph copies is alive at a time — the serial path
+  // (wave width 1) keeps the one-graph-at-a-time memory profile.
   Rng rng(options_.seed);
-  report.random_counts.reserve(
-      static_cast<size_t>(options_.num_random_graphs));
-  for (int i = 0; i < options_.num_random_graphs; ++i) {
-    const TimeSeriesGraph randomized = graph_.WithPermutedFlows(&rng);
-    FlowMotifEnumerator enumerator(randomized, motif, enum_options);
-    const EnumerationResult r = options_.reuse_matches
-                                    ? enumerator.RunOnMatches(matches)
-                                    : enumerator.Run();
-    report.random_counts.push_back(static_cast<double>(r.num_instances));
+  const int64_t num_tasks = options_.num_random_graphs + 1;  // 0 = real
+  const int64_t wave_width =
+      options_.pool != nullptr
+          ? std::max<int64_t>(1, options_.pool->num_threads())
+          : 1;
+  std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
+  for (int64_t wave_first = 0; wave_first < num_tasks;
+       wave_first += wave_width) {
+    const int64_t wave_limit =
+        std::min(num_tasks, wave_first + wave_width);
+    const int64_t first_random = std::max<int64_t>(1, wave_first);
+    std::vector<TimeSeriesGraph> wave_graphs;
+    wave_graphs.reserve(static_cast<size_t>(wave_limit - first_random));
+    for (int64_t t = first_random; t < wave_limit; ++t) {
+      wave_graphs.push_back(graph_.WithPermutedFlows(&rng));
+    }
+    const auto count_one = [&](int64_t offset) {
+      const int64_t task = wave_first + offset;
+      const TimeSeriesGraph& target =
+          task == 0 ? graph_
+                    : wave_graphs[static_cast<size_t>(task - first_random)];
+      FlowMotifEnumerator enumerator(target, motif, enum_options);
+      const EnumerationResult r = options_.reuse_matches
+                                      ? enumerator.RunOnMatches(matches)
+                                      : enumerator.Run();
+      counts[static_cast<size_t>(task)] = r.num_instances;
+    };
+    if (options_.pool != nullptr) {
+      options_.pool->ParallelFor(wave_limit - wave_first, count_one);
+    } else {
+      for (int64_t offset = 0; offset < wave_limit - wave_first; ++offset) {
+        count_one(offset);
+      }
+    }
+  }
+
+  report.real_count = counts[0];
+  report.random_counts.reserve(static_cast<size_t>(num_tasks - 1));
+  for (int64_t i = 1; i < num_tasks; ++i) {
+    report.random_counts.push_back(
+        static_cast<double>(counts[static_cast<size_t>(i)]));
   }
 
   report.random_summary = Summarize(report.random_counts);

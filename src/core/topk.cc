@@ -1,76 +1,75 @@
 #include "core/topk.h"
 
 #include <algorithm>
-#include <queue>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace flowmotif {
 
-namespace {
+TopKCollector::TopKCollector(int64_t k) : k_(k) {
+  FLOWMOTIF_CHECK_GE(k, 1);
+}
 
-/// Bounded min-heap over instance flows: the top is the current k-th best
-/// flow, which doubles as the floating pruning threshold.
-class TopKHeap {
- public:
-  explicit TopKHeap(int64_t k) : k_(k) {}
+void TopKCollector::Offer(Flow flow, DiscoveryRank rank,
+                          const InstanceView& view) {
+  if (full() && !Outranks(Item{flow, rank, {}}, heap_.top())) return;
+  OfferMaterialized(flow, rank, view.Materialize());
+}
 
-  /// Exclusive lower bound for a new instance to be useful.
-  Flow Threshold() const {
-    return static_cast<int64_t>(heap_.size()) < k_ ? 0.0 : heap_.top().flow;
+void TopKCollector::OfferMaterialized(Flow flow, DiscoveryRank rank,
+                                      MotifInstance instance) {
+  if (!full()) {
+    heap_.push(Item{flow, rank, std::move(instance)});
+    return;
   }
+  if (!Outranks(Item{flow, rank, {}}, heap_.top())) return;
+  heap_.pop();
+  heap_.push(Item{flow, rank, std::move(instance)});
+}
 
-  void Offer(Flow flow, const InstanceView& view) {
-    if (static_cast<int64_t>(heap_.size()) < k_) {
-      heap_.push({flow, seq_++, view.Materialize()});
-      return;
-    }
-    if (flow > heap_.top().flow) {
-      heap_.pop();
-      heap_.push({flow, seq_++, view.Materialize()});
-    }
+void TopKCollector::MergeFrom(TopKCollector&& other) {
+  while (!other.heap_.empty()) {
+    // priority_queue::top() is const; the instance is copied. Merge
+    // traffic is at most k instances per batch, negligible next to the
+    // enumeration itself.
+    Item item = other.heap_.top();
+    other.heap_.pop();
+    OfferMaterialized(item.flow, item.rank, std::move(item.instance));
   }
+}
 
-  std::vector<TopKSearcher::Entry> Drain() {
-    std::vector<Item> items;
-    items.reserve(heap_.size());
-    while (!heap_.empty()) {
-      items.push_back(heap_.top());
-      heap_.pop();
-    }
-    // Heap pops ascending; results are reported by decreasing flow with
-    // earlier discoveries first among ties.
-    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
-      if (a.flow != b.flow) return a.flow > b.flow;
-      return a.seq < b.seq;
-    });
-    std::vector<TopKSearcher::Entry> entries;
-    entries.reserve(items.size());
-    for (Item& item : items) {
-      entries.push_back({item.flow, std::move(item.instance)});
-    }
-    return entries;
+std::vector<TopKEntry> TopKCollector::Drain() {
+  std::vector<Item> items;
+  items.reserve(heap_.size());
+  while (!heap_.empty()) {
+    items.push_back(heap_.top());
+    heap_.pop();
   }
+  std::sort(items.begin(), items.end(), Outranks);
+  std::vector<TopKEntry> entries;
+  entries.reserve(items.size());
+  for (Item& item : items) {
+    entries.push_back({item.flow, std::move(item.instance)});
+  }
+  return entries;
+}
 
- private:
-  struct Item {
-    Flow flow;
-    int64_t seq;
-    MotifInstance instance;
-  };
-  struct MinFlowOrder {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.flow != b.flow) return a.flow > b.flow;  // min-heap on flow
-      return a.seq < b.seq;  // evict the newest among equal flows
-    }
-  };
+Flow SharedFlowThreshold::ExclusiveBound() const {
+  const Flow kth = kth_best_.load(std::memory_order_relaxed);
+  if (kth <= 0.0) return 0.0;
+  return std::nextafter(kth, -std::numeric_limits<Flow>::infinity());
+}
 
-  int64_t k_;
-  int64_t seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, MinFlowOrder> heap_;
-};
-
-}  // namespace
+void SharedFlowThreshold::RaiseToKthBest(Flow kth_best) {
+  Flow current = kth_best_.load(std::memory_order_relaxed);
+  while (kth_best > current &&
+         !kth_best_.compare_exchange_weak(current, kth_best,
+                                          std::memory_order_relaxed)) {
+  }
+}
 
 TopKSearcher::TopKSearcher(const TimeSeriesGraph& graph, const Motif& motif,
                            Timestamp delta, int64_t k)
@@ -79,38 +78,44 @@ TopKSearcher::TopKSearcher(const TimeSeriesGraph& graph, const Motif& motif,
 }
 
 TopKSearcher::Result TopKSearcher::Run() const {
-  TopKHeap heap(k_);
+  TopKCollector collector(k_);
   EnumerationOptions options;
   options.delta = delta_;
   options.phi = 0.0;
-  options.dynamic_min_flow_exclusive = [&heap]() { return heap.Threshold(); };
+  options.dynamic_min_flow_exclusive = [&collector]() {
+    return collector.KthBestFlow();
+  };
   FlowMotifEnumerator enumerator(graph_, motif_, options);
 
   Result result;
-  result.stats = enumerator.Run([&heap](const InstanceView& view) {
-    heap.Offer(view.flow, view);
+  int64_t seq = 0;
+  result.stats = enumerator.Run([&collector, &seq](const InstanceView& view) {
+    collector.Offer(view.flow, DiscoveryRank{0, seq++}, view);
     return true;
   });
-  result.entries = heap.Drain();
+  result.entries = collector.Drain();
   return result;
 }
 
 TopKSearcher::Result TopKSearcher::RunOnMatches(
     const std::vector<MatchBinding>& matches) const {
-  TopKHeap heap(k_);
+  TopKCollector collector(k_);
   EnumerationOptions options;
   options.delta = delta_;
   options.phi = 0.0;
-  options.dynamic_min_flow_exclusive = [&heap]() { return heap.Threshold(); };
+  options.dynamic_min_flow_exclusive = [&collector]() {
+    return collector.KthBestFlow();
+  };
   FlowMotifEnumerator enumerator(graph_, motif_, options);
 
   Result result;
+  int64_t seq = 0;
   result.stats = enumerator.RunOnMatches(
-      matches, [&heap](const InstanceView& view) {
-        heap.Offer(view.flow, view);
+      matches, [&collector, &seq](const InstanceView& view) {
+        collector.Offer(view.flow, DiscoveryRank{0, seq++}, view);
         return true;
       });
-  result.entries = heap.Drain();
+  result.entries = collector.Drain();
   return result;
 }
 

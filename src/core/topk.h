@@ -1,7 +1,9 @@
 #ifndef FLOWMOTIF_CORE_TOPK_H_
 #define FLOWMOTIF_CORE_TOPK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <queue>
 #include <vector>
 
 #include "core/enumerator.h"
@@ -10,6 +12,113 @@
 #include "graph/time_series_graph.h"
 
 namespace flowmotif {
+
+/// Deterministic discovery order of one emitted instance: the index of
+/// its structural match in phase-P1 order, then the emission index
+/// inside that match. Serial enumeration emits in increasing rank; the
+/// engine's parallel path assigns the same ranks regardless of which
+/// worker processes which match, so rank-based tie-breaking makes the
+/// merged top-k byte-identical to the serial one.
+struct DiscoveryRank {
+  int64_t match_index = 0;
+  int64_t emit_index = 0;
+
+  friend bool operator<(const DiscoveryRank& a, const DiscoveryRank& b) {
+    if (a.match_index != b.match_index) return a.match_index < b.match_index;
+    return a.emit_index < b.emit_index;
+  }
+  friend bool operator==(const DiscoveryRank& a, const DiscoveryRank& b) {
+    return a.match_index == b.match_index && a.emit_index == b.emit_index;
+  }
+};
+
+/// One top-k result entry.
+struct TopKEntry {
+  Flow flow;
+  MotifInstance instance;
+};
+
+/// Bounded collector of the k best instances under the total order
+/// (flow descending, DiscoveryRank ascending). Insertion order does not
+/// affect the final contents — Offer handles a tie with the current
+/// k-th entry by rank — which is what lets per-batch collectors filled
+/// on different threads merge into exactly the serial result.
+///
+/// Not thread-safe; use one collector per worker and MergeFrom.
+class TopKCollector {
+ public:
+  explicit TopKCollector(int64_t k);
+
+  bool full() const { return static_cast<int64_t>(heap_.size()) >= k_; }
+
+  /// Flow of the current k-th best entry, or 0 until k entries were
+  /// collected. Doubles as the *exclusive* floating threshold with the
+  /// serial semantics of TopKSearcher: equal-flow latecomers are pruned
+  /// before they reach the collector.
+  Flow KthBestFlow() const { return full() ? heap_.top().flow : 0.0; }
+
+  /// Offers one instance; materializes it only if it enters the top k.
+  void Offer(Flow flow, DiscoveryRank rank, const InstanceView& view);
+
+  /// Offers an already-materialized instance (used when merging).
+  void OfferMaterialized(Flow flow, DiscoveryRank rank,
+                         MotifInstance instance);
+
+  /// Moves every entry of `other` into this collector. Order-insensitive:
+  /// merging batch collectors in any order yields the k best of the
+  /// union.
+  void MergeFrom(TopKCollector&& other);
+
+  /// Empties the collector, returning entries sorted by decreasing flow
+  /// with rank breaking ties (earlier discoveries first).
+  std::vector<TopKEntry> Drain();
+
+ private:
+  struct Item {
+    Flow flow;
+    DiscoveryRank rank;
+    MotifInstance instance;
+  };
+  /// True when a outranks b: strictly more flow, or equal flow and
+  /// earlier discovery.
+  static bool Outranks(const Item& a, const Item& b) {
+    if (a.flow != b.flow) return a.flow > b.flow;
+    return a.rank < b.rank;
+  }
+  struct WorstOnTop {
+    bool operator()(const Item& a, const Item& b) const {
+      return Outranks(a, b);
+    }
+  };
+
+  int64_t k_;
+  std::priority_queue<Item, std::vector<Item>, WorstOnTop> heap_;
+};
+
+/// The thread-safe floating top-k threshold of the engine's parallel
+/// path: a monotonically increasing atomic lower bound on the global
+/// k-th best flow, fed by every worker's local collector. The exposed
+/// bound admits flows *equal* to the recorded k-th best — unlike the
+/// serial TopKSearcher threshold — because an equal-flow instance from
+/// a match that serial order would have visited earlier can still win
+/// the rank tie-break; TopKCollector rejects the ones that cannot.
+class SharedFlowThreshold {
+ public:
+  /// Value for EnumerationOptions::dynamic_min_flow_exclusive: the
+  /// largest double strictly below the recorded k-th best (so the
+  /// enumerator's strict `flow > bound` check admits flow == k-th
+  /// best), or 0 while fewer than k instances are known.
+  Flow ExclusiveBound() const;
+
+  /// Raises the bound to `kth_best`, the k-th best flow of some worker's
+  /// full local collector — a certificate that k instances with at
+  /// least that flow exist globally. No-op if the bound is already
+  /// higher.
+  void RaiseToKthBest(Flow kth_best);
+
+ private:
+  std::atomic<Flow> kth_best_{0.0};
+};
 
 /// Top-k flow motif search (Sec. 5): instead of a fixed phi, find the k
 /// instances with the largest flow f(GI) among all maximal instances that
@@ -20,10 +129,7 @@ namespace flowmotif {
 class TopKSearcher {
  public:
   /// One result entry.
-  struct Entry {
-    Flow flow;
-    MotifInstance instance;
-  };
+  using Entry = TopKEntry;
 
   struct Result {
     /// Entries sorted by decreasing flow (ties broken by discovery order).

@@ -1,0 +1,41 @@
+#include "engine/batching.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+namespace {
+/// Target batches per thread when the size is derived: enough slack for
+/// dynamic load balancing, few enough that per-batch bookkeeping (a
+/// local result, a local top-k collector) stays negligible.
+constexpr int64_t kBatchesPerThread = 8;
+}  // namespace
+
+std::vector<MatchBatch> PartitionMatches(int64_t num_matches,
+                                         int num_threads,
+                                         int64_t batch_size) {
+  FLOWMOTIF_CHECK_GE(num_matches, 0);
+  FLOWMOTIF_CHECK_GE(num_threads, 1);
+  FLOWMOTIF_CHECK_GE(batch_size, 0);
+  std::vector<MatchBatch> batches;
+  if (num_matches == 0) return batches;
+  if (num_threads == 1 && batch_size == 0) {
+    batches.push_back({0, num_matches});
+    return batches;
+  }
+  if (batch_size == 0) {
+    const int64_t target = static_cast<int64_t>(num_threads) *
+                           kBatchesPerThread;
+    batch_size = std::max<int64_t>(1, (num_matches + target - 1) / target);
+  }
+  batches.reserve(
+      static_cast<size_t>((num_matches + batch_size - 1) / batch_size));
+  for (int64_t begin = 0; begin < num_matches; begin += batch_size) {
+    batches.push_back({begin, std::min(begin + batch_size, num_matches)});
+  }
+  return batches;
+}
+
+}  // namespace flowmotif

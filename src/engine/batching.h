@@ -1,0 +1,30 @@
+#ifndef FLOWMOTIF_ENGINE_BATCHING_H_
+#define FLOWMOTIF_ENGINE_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flowmotif {
+
+/// A contiguous range [begin, end) of structural-match indices processed
+/// as one unit by a worker thread.
+struct MatchBatch {
+  int64_t begin = 0;
+  int64_t end = 0;  // exclusive
+
+  int64_t size() const { return end - begin; }
+};
+
+/// Partitions [0, num_matches) into contiguous batches. With
+/// `batch_size` == 0 the size is derived so each thread gets several
+/// batches (dynamic scheduling then absorbs matches of very different
+/// cost — phase-P2 work per match varies by orders of magnitude).
+/// Batches are returned in index order; merging per-batch outputs in
+/// that order reproduces serial processing order.
+std::vector<MatchBatch> PartitionMatches(int64_t num_matches,
+                                         int num_threads,
+                                         int64_t batch_size = 0);
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_ENGINE_BATCHING_H_

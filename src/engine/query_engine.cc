@@ -1,0 +1,306 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "core/counter.h"
+#include "engine/batching.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace flowmotif {
+
+namespace {
+
+int ResolveThreads(const QueryOptions& options) {
+  FLOWMOTIF_CHECK_GE(options.num_threads, 0);
+  return options.num_threads == 0 ? ThreadPool::DefaultParallelism()
+                                  : options.num_threads;
+}
+
+EnumerationOptions ToEnumerationOptions(const QueryOptions& options) {
+  EnumerationOptions eopts;
+  eopts.delta = options.delta;
+  eopts.phi = options.phi;
+  eopts.strict_maximality = options.strict_maximality;
+  return eopts;
+}
+
+}  // namespace
+
+QueryResult QueryEngine::Run(const Motif& motif,
+                             const QueryOptions& options) const {
+  WallTimer wall;
+  ThreadPool pool(ResolveThreads(options));
+
+  if (options.mode == QueryMode::kSignificance) {
+    QueryResult result;
+    result.mode = options.mode;
+    result.threads_used = pool.num_threads();
+    RunSignificance(motif, options, &pool, &result);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
+
+  WallTimer p1_timer;
+  const std::vector<MatchBinding> matches =
+      StructuralMatcher(graph_, motif).FindAllMatches();
+  const double phase1_seconds = p1_timer.ElapsedSeconds();
+
+  QueryResult result = Dispatch(motif, matches, options, &pool);
+  result.stats.phase1_seconds = phase1_seconds;
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+QueryResult QueryEngine::RunOnMatches(const Motif& motif,
+                                      const std::vector<MatchBinding>& matches,
+                                      const QueryOptions& options) const {
+  FLOWMOTIF_CHECK(options.mode != QueryMode::kSignificance)
+      << "kSignificance computes and reuses its own matches; use Run()";
+  WallTimer wall;
+  ThreadPool pool(ResolveThreads(options));
+  QueryResult result = Dispatch(motif, matches, options, &pool);
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+QueryResult QueryEngine::Dispatch(const Motif& motif,
+                                  const std::vector<MatchBinding>& matches,
+                                  const QueryOptions& options,
+                                  ThreadPool* pool) const {
+  QueryResult result;
+  result.mode = options.mode;
+  result.threads_used = pool->num_threads();
+  switch (options.mode) {
+    case QueryMode::kEnumerate:
+      RunEnumerate(motif, matches, options, pool, &result);
+      break;
+    case QueryMode::kCount:
+      RunCount(motif, matches, options, pool, &result);
+      break;
+    case QueryMode::kTopK:
+      RunTopK(motif, matches, options, pool, &result);
+      break;
+    case QueryMode::kTop1:
+      RunTop1(motif, matches, options, pool, &result);
+      break;
+    case QueryMode::kSignificance:
+      FLOWMOTIF_CHECK(false) << "handled by Run()";
+      break;
+  }
+  return result;
+}
+
+void QueryEngine::RunEnumerate(const Motif& motif,
+                               const std::vector<MatchBinding>& matches,
+                               const QueryOptions& options, ThreadPool* pool,
+                               QueryResult* result) const {
+  const FlowMotifEnumerator enumerator(graph_, motif,
+                                       ToEnumerationOptions(options));
+  const std::vector<MatchBatch> batches = PartitionMatches(
+      static_cast<int64_t>(matches.size()), pool->num_threads(),
+      options.batch_size);
+  result->num_batches = static_cast<int64_t>(batches.size());
+  const int64_t limit = options.collect_limit;
+
+  struct BatchOutput {
+    EnumerationResult stats;
+    std::vector<MotifInstance> collected;
+  };
+  std::vector<BatchOutput> outputs(batches.size());
+
+  pool->ParallelFor(
+      static_cast<int64_t>(batches.size()), [&](int64_t b) {
+        BatchOutput& out = outputs[static_cast<size_t>(b)];
+        WallTimer timer;
+        InstanceVisitor visitor;
+        if (limit != 0) {
+          // Each batch keeps at most `limit` instances: the global first
+          // `limit` (serial discovery order) are necessarily among the
+          // first `limit` of their own batch, so the merge below can
+          // truncate without losing any of them.
+          visitor = [&out, limit](const InstanceView& view) {
+            if (limit < 0 ||
+                static_cast<int64_t>(out.collected.size()) < limit) {
+              out.collected.push_back(view.Materialize());
+            }
+            return true;
+          };
+        }
+        for (int64_t m = batches[static_cast<size_t>(b)].begin;
+             m < batches[static_cast<size_t>(b)].end; ++m) {
+          ++out.stats.num_structural_matches;
+          enumerator.EnumerateMatch(matches[static_cast<size_t>(m)], visitor,
+                                    &out.stats);
+        }
+        out.stats.phase2_seconds = timer.ElapsedSeconds();
+      });
+
+  for (BatchOutput& out : outputs) {
+    result->stats.MergeFrom(out.stats);
+    for (MotifInstance& instance : out.collected) {
+      if (limit >= 0 &&
+          static_cast<int64_t>(result->instances.size()) >= limit) {
+        break;
+      }
+      result->instances.push_back(std::move(instance));
+    }
+  }
+}
+
+void QueryEngine::RunCount(const Motif& motif,
+                           const std::vector<MatchBinding>& matches,
+                           const QueryOptions& options, ThreadPool* pool,
+                           QueryResult* result) const {
+  const InstanceCounter counter(graph_, motif, options.delta, options.phi);
+  const std::vector<MatchBatch> batches = PartitionMatches(
+      static_cast<int64_t>(matches.size()), pool->num_threads(),
+      options.batch_size);
+  result->num_batches = static_cast<int64_t>(batches.size());
+
+  struct BatchOutput {
+    InstanceCounter::Result counts;
+    double seconds = 0.0;
+  };
+  std::vector<BatchOutput> outputs(batches.size());
+
+  pool->ParallelFor(
+      static_cast<int64_t>(batches.size()), [&](int64_t b) {
+        BatchOutput& out = outputs[static_cast<size_t>(b)];
+        WallTimer timer;
+        for (int64_t m = batches[static_cast<size_t>(b)].begin;
+             m < batches[static_cast<size_t>(b)].end; ++m) {
+          ++out.counts.num_structural_matches;
+          out.counts.num_instances += counter.CountMatch(
+              matches[static_cast<size_t>(m)], &out.counts);
+        }
+        out.seconds = timer.ElapsedSeconds();
+      });
+
+  for (const BatchOutput& out : outputs) {
+    result->stats.num_instances += out.counts.num_instances;
+    result->stats.num_structural_matches += out.counts.num_structural_matches;
+    result->stats.num_windows_processed += out.counts.num_windows;
+    result->memo_hits += out.counts.memo_hits;
+    result->stats.phase2_seconds += out.seconds;
+  }
+}
+
+void QueryEngine::RunTopK(const Motif& motif,
+                          const std::vector<MatchBinding>& matches,
+                          const QueryOptions& options, ThreadPool* pool,
+                          QueryResult* result) const {
+  FLOWMOTIF_CHECK_GE(options.k, 1);
+  SharedFlowThreshold shared;
+  EnumerationOptions eopts = ToEnumerationOptions(options);
+  eopts.dynamic_min_flow_exclusive = [&shared]() {
+    return shared.ExclusiveBound();
+  };
+  const FlowMotifEnumerator enumerator(graph_, motif, eopts);
+  const std::vector<MatchBatch> batches = PartitionMatches(
+      static_cast<int64_t>(matches.size()), pool->num_threads(),
+      options.batch_size);
+  result->num_batches = static_cast<int64_t>(batches.size());
+
+  // Completed batches fold into one global collector so the shared
+  // threshold tracks the true k-th best seen so far (small batches
+  // alone would rarely fill a local collector). The fold order is
+  // whatever order batches finish in — harmless, because the bounded
+  // collector's contents are insertion-order-independent.
+  TopKCollector global(options.k);
+  std::mutex global_mu;
+  std::vector<EnumerationResult> batch_stats(batches.size());
+
+  pool->ParallelFor(
+      static_cast<int64_t>(batches.size()), [&](int64_t b) {
+        EnumerationResult& stats = batch_stats[static_cast<size_t>(b)];
+        TopKCollector local(options.k);
+        WallTimer timer;
+        for (int64_t m = batches[static_cast<size_t>(b)].begin;
+             m < batches[static_cast<size_t>(b)].end; ++m) {
+          ++stats.num_structural_matches;
+          int64_t emit_index = 0;
+          enumerator.EnumerateMatch(
+              matches[static_cast<size_t>(m)],
+              [&local, &shared, m, &emit_index](const InstanceView& view) {
+                local.Offer(view.flow, DiscoveryRank{m, emit_index++}, view);
+                if (local.full()) {
+                  shared.RaiseToKthBest(local.KthBestFlow());
+                }
+                return true;
+              },
+              &stats);
+        }
+        stats.phase2_seconds = timer.ElapsedSeconds();
+        std::lock_guard<std::mutex> lock(global_mu);
+        global.MergeFrom(std::move(local));
+        if (global.full()) shared.RaiseToKthBest(global.KthBestFlow());
+      });
+
+  for (const EnumerationResult& stats : batch_stats) {
+    result->stats.MergeFrom(stats);
+  }
+  result->topk = global.Drain();
+}
+
+void QueryEngine::RunTop1(const Motif& motif,
+                          const std::vector<MatchBinding>& matches,
+                          const QueryOptions& options, ThreadPool* pool,
+                          QueryResult* result) const {
+  const MaxFlowDpSearcher searcher(graph_, motif, options.delta);
+  const std::vector<MatchBatch> batches = PartitionMatches(
+      static_cast<int64_t>(matches.size()), pool->num_threads(),
+      options.batch_size);
+  result->num_batches = static_cast<int64_t>(batches.size());
+
+  std::vector<MaxFlowDpSearcher::Result> outputs(batches.size());
+  pool->ParallelFor(
+      static_cast<int64_t>(batches.size()), [&](int64_t b) {
+        const MatchBatch& batch = batches[static_cast<size_t>(b)];
+        outputs[static_cast<size_t>(b)] = searcher.RunOnMatches(
+            matches.data() + batch.begin, matches.data() + batch.end);
+      });
+
+  MaxFlowDpSearcher::Result best;
+  for (MaxFlowDpSearcher::Result& out : outputs) {
+    best.num_windows += out.num_windows;
+    best.seconds += out.seconds;
+    // Strictly-greater keeps the earliest batch on flow ties — the same
+    // rule the serial searcher applies per match, so the merged winner
+    // is the serial winner.
+    if (out.found && (!best.found || out.max_flow > best.max_flow)) {
+      const int64_t num_windows = best.num_windows;
+      const double seconds = best.seconds;
+      best = std::move(out);
+      best.num_windows = num_windows;
+      best.seconds = seconds;
+    }
+  }
+  result->stats.num_structural_matches =
+      static_cast<int64_t>(matches.size());
+  result->stats.num_windows_processed = best.num_windows;
+  result->stats.phase2_seconds = best.seconds;
+  if (best.found) result->stats.num_instances = 1;
+  result->top1 = std::move(best);
+}
+
+void QueryEngine::RunSignificance(const Motif& motif,
+                                  const QueryOptions& options,
+                                  ThreadPool* pool,
+                                  QueryResult* result) const {
+  FLOWMOTIF_CHECK_GT(options.num_random_graphs, 0);
+  SignificanceAnalyzer::Options sopts;
+  sopts.num_random_graphs = options.num_random_graphs;
+  sopts.seed = options.seed;
+  sopts.delta = options.delta;
+  sopts.phi = options.phi;
+  sopts.reuse_matches = true;
+  sopts.pool = pool;
+  const SignificanceAnalyzer analyzer(graph_, sopts);
+  result->significance = analyzer.Analyze(motif);
+  result->stats.num_instances = result->significance.real_count;
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,118 @@
+#ifndef FLOWMOTIF_ENGINE_QUERY_ENGINE_H_
+#define FLOWMOTIF_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dp.h"
+#include "core/enumerator.h"
+#include "core/instance.h"
+#include "core/motif.h"
+#include "core/significance.h"
+#include "core/structural_match.h"
+#include "core/topk.h"
+#include "engine/query_options.h"
+#include "graph/time_series_graph.h"
+#include "util/thread_pool.h"
+
+namespace flowmotif {
+
+/// Unified result of a QueryEngine run. `stats` carries the enumeration
+/// counters every mode reports (instances, matches, windows, prunes);
+/// the mode-specific payload lives in the field named after the mode.
+struct QueryResult {
+  QueryMode mode = QueryMode::kEnumerate;
+
+  /// Unified counters. In parallel runs phase1/phase2_seconds are
+  /// aggregate CPU seconds (see EnumerationResult::MergeFrom);
+  /// wall_seconds below is the end-to-end time. In kTopK mode the
+  /// pruning counters (num_phi_prunes, num_instances surviving the
+  /// floating threshold) depend on how fast the threshold tightened and
+  /// are the only fields that may differ across thread counts — the
+  /// result entries never do.
+  EnumerationResult stats;
+
+  /// kCount: memoization hits of the counting recursion.
+  int64_t memo_hits = 0;
+
+  /// kEnumerate: up to QueryOptions::collect_limit materialized
+  /// instances, in serial discovery order for every thread count.
+  std::vector<MotifInstance> instances;
+
+  /// kTopK: entries sorted by decreasing flow, discovery order breaking
+  /// ties. Byte-identical for every thread count.
+  std::vector<TopKEntry> topk;
+
+  /// kTop1: the DP searcher's best instance (earliest structural match
+  /// wins flow ties, as in the serial searcher).
+  MaxFlowDpSearcher::Result top1;
+
+  /// kSignificance: the per-motif report.
+  SignificanceAnalyzer::MotifReport significance;
+
+  /// Execution footprint.
+  int threads_used = 1;
+  int64_t num_batches = 0;
+  double wall_seconds = 0.0;
+};
+
+/// The single entry point for flow motif queries: one facade over the
+/// four paper query modes (threshold enumeration, top-k, top-1 DP,
+/// significance) plus construction-free counting, configured by one
+/// QueryOptions struct.
+///
+/// Execution is the paper's two-phase algorithm. Phase P1 (structural
+/// matching) runs once on the calling thread; phase P2 is partitioned
+/// into contiguous match batches executed on a worker pool. Every
+/// worker fills thread-local state (an EnumerationResult, a bounded
+/// top-k collector, a DP incumbent) which is merged in deterministic
+/// batch order, so results are byte-identical across thread counts —
+/// the parallel-vs-serial equivalence property test locks this in.
+///
+/// Thread-compatible: one engine may serve concurrent Run calls, since
+/// all mutable state is per-call.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const TimeSeriesGraph& graph) : graph_(graph) {}
+  // The engine keeps a reference to the graph: temporaries would dangle.
+  explicit QueryEngine(TimeSeriesGraph&&) = delete;
+
+  /// Full two-phase run of the selected mode.
+  QueryResult Run(const Motif& motif, const QueryOptions& options) const;
+
+  /// Phase P2 only, over externally computed structural matches (used
+  /// by benchmarks that isolate P2). Not available for kSignificance,
+  /// which owns its match reuse internally.
+  QueryResult RunOnMatches(const Motif& motif,
+                           const std::vector<MatchBinding>& matches,
+                           const QueryOptions& options) const;
+
+  const TimeSeriesGraph& graph() const { return graph_; }
+
+ private:
+  QueryResult Dispatch(const Motif& motif,
+                       const std::vector<MatchBinding>& matches,
+                       const QueryOptions& options, ThreadPool* pool) const;
+
+  void RunEnumerate(const Motif& motif,
+                    const std::vector<MatchBinding>& matches,
+                    const QueryOptions& options, ThreadPool* pool,
+                    QueryResult* result) const;
+  void RunCount(const Motif& motif, const std::vector<MatchBinding>& matches,
+                const QueryOptions& options, ThreadPool* pool,
+                QueryResult* result) const;
+  void RunTopK(const Motif& motif, const std::vector<MatchBinding>& matches,
+               const QueryOptions& options, ThreadPool* pool,
+               QueryResult* result) const;
+  void RunTop1(const Motif& motif, const std::vector<MatchBinding>& matches,
+               const QueryOptions& options, ThreadPool* pool,
+               QueryResult* result) const;
+  void RunSignificance(const Motif& motif, const QueryOptions& options,
+                       ThreadPool* pool, QueryResult* result) const;
+
+  const TimeSeriesGraph& graph_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,59 @@
+#ifndef FLOWMOTIF_ENGINE_QUERY_OPTIONS_H_
+#define FLOWMOTIF_ENGINE_QUERY_OPTIONS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace flowmotif {
+
+/// The query modes unified behind QueryEngine — the paper's threshold
+/// enumeration (Sec. 4), top-k and top-1 search (Sec. 5), significance
+/// analysis (Sec. 6.3), plus the construction-free counting mode
+/// (Sec. 7 future work).
+enum class QueryMode {
+  kEnumerate,     // all maximal instances with flow >= phi
+  kCount,         // instance count only, memoized recursion
+  kTopK,          // k largest-flow instances, floating threshold
+  kTop1,          // single best instance, DP (Algorithm 2)
+  kSignificance,  // z-score / p-value vs flow-permuted graphs
+};
+
+/// One options struct configuring every mode. Fields that do not apply
+/// to the selected mode are ignored.
+struct QueryOptions {
+  QueryMode mode = QueryMode::kEnumerate;
+
+  /// Def. 3.1 thresholds. `phi` applies to kEnumerate / kCount /
+  /// kSignificance; kTopK runs with it as a static floor under the
+  /// floating threshold (0 reproduces the paper's pure top-k).
+  Timestamp delta = 0;
+  Flow phi = 0.0;
+
+  /// kTopK: number of results, >= 1.
+  int64_t k = 10;
+
+  /// kEnumerate: apply the Def. 3.3 strict-maximality post-filter.
+  bool strict_maximality = false;
+
+  /// kEnumerate: how many instances to materialize into
+  /// QueryResult::instances, in serial discovery order. 0 collects
+  /// nothing (counters only), -1 collects every instance.
+  int64_t collect_limit = 0;
+
+  /// kSignificance: number of flow-permuted graphs and RNG seed.
+  int num_random_graphs = 20;
+  uint64_t seed = 1;
+
+  /// Worker threads for phase P2. 1 = serial reference path; 0 = one
+  /// per hardware thread. Results are byte-identical for every value.
+  int num_threads = 1;
+
+  /// Structural matches per parallel batch; 0 derives a size that gives
+  /// each thread several batches for load balancing.
+  int64_t batch_size = 0;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_ENGINE_QUERY_OPTIONS_H_

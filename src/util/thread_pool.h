@@ -1,0 +1,69 @@
+#ifndef FLOWMOTIF_UTIL_THREAD_POOL_H_
+#define FLOWMOTIF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flowmotif {
+
+/// A fixed-size worker pool for the engine's match-parallel execution
+/// path. Tasks must not throw: the codebase reports errors through
+/// Status / FLOWMOTIF_CHECK, and an exception escaping a worker would
+/// terminate the process.
+///
+/// With num_threads == 1 no worker threads are spawned at all and every
+/// task runs inline on the submitting thread, so the serial path has
+/// zero synchronization overhead and stays the bit-for-bit reference
+/// for the parallel one.
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1 is the total parallelism (worker threads; the
+  /// caller blocks in Wait()/ParallelFor() and does not steal work so
+  /// that the thread count the user asked for is the thread count
+  /// actually computing).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs body(i) for every i in [0, n), distributing indices to workers
+  /// through a shared cursor (dynamic load balancing), and blocks until
+  /// all iterations are done. With num_threads == 1 this is a plain
+  /// loop. Concurrent ParallelFor calls on the same pool are not
+  /// supported (Wait() would observe each other's tasks).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// std::thread::hardware_concurrency() with a floor of 1; the meaning
+  /// of `num_threads = 0` in engine options.
+  static int DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_UTIL_THREAD_POOL_H_

@@ -202,6 +202,28 @@ TEST(EnumeratorTest, CountersArePopulated) {
   EXPECT_GE(result.phase2_seconds, 0.0);
 }
 
+TEST(EnumeratorTest, EmptyEdgeSliceFlowSumIsZero) {
+  // Regression: begin == end used to call EdgeSeries::FlowSum(begin,
+  // end - 1) with a wrapped index and only returned 0 by luck of the
+  // series' own range check.
+  TimeSeriesGraph g = MakeGraph({{0, 1, 10, 1.0}, {0, 1, 12, 2.0}});
+  const EdgeSeries* series = g.FindSeries(0, 1);
+  ASSERT_NE(series, nullptr);
+
+  EdgeSlice empty_at_zero{series, 0, 0};
+  EXPECT_EQ(empty_at_zero.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty_at_zero.FlowSum(), 0.0);
+
+  EdgeSlice empty_mid{series, 1, 1};
+  EXPECT_DOUBLE_EQ(empty_mid.FlowSum(), 0.0);
+
+  EdgeSlice empty_at_end{series, 2, 2};
+  EXPECT_DOUBLE_EQ(empty_at_end.FlowSum(), 0.0);
+
+  EdgeSlice whole{series, 0, 2};
+  EXPECT_DOUBLE_EQ(whole.FlowSum(), 3.0);
+}
+
 TEST(EnumeratorDeathTest, NegativeDeltaAborts) {
   TimeSeriesGraph g = testing_util::PaperFig2Graph();
   Motif m = *Motif::FromSpanningPath({0, 1});

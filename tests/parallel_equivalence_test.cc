@@ -1,0 +1,202 @@
+// The engine's central promise: phase-P2 parallelism never changes any
+// result. For random graphs from the gen/ presets and threads in
+// {1, 2, 8}, every mode must produce byte-identical output — the same
+// instance sets, the same deterministic counters, the same top-k
+// entries — with the single documented exception of the top-k pruning
+// counters, which depend on how fast the floating threshold tightened.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "engine/query_engine.h"
+#include "gen/presets.h"
+
+namespace flowmotif {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+struct Workload {
+  TimeSeriesGraph graph;
+  Motif motif;
+  Timestamp delta;
+  Flow phi;
+};
+
+std::vector<Workload> Workloads() {
+  std::vector<Workload> workloads;
+  for (const DatasetPreset& preset : AllPresets()) {
+    // Small but non-trivial samples: hundreds of interactions, enough
+    // matches that every thread count actually splits work.
+    const TimeSeriesGraph graph = GenerateDataset(preset, 0.05);
+    workloads.push_back({graph, *MotifCatalog::ByName("M(3,2)"),
+                         preset.default_delta, preset.default_phi});
+    workloads.push_back({graph, *MotifCatalog::ByName("M(3,3)"),
+                         preset.default_delta, 0.0});
+  }
+  return workloads;
+}
+
+TEST(ParallelEquivalenceTest, EnumerateIdenticalAcrossThreadCounts) {
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kEnumerate;
+    options.delta = w.delta;
+    options.phi = w.phi;
+    options.collect_limit = -1;
+
+    options.num_threads = 1;
+    const QueryResult serial = engine.Run(w.motif, options);
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const QueryResult parallel = engine.Run(w.motif, options);
+      ASSERT_EQ(parallel.stats.num_instances, serial.stats.num_instances)
+          << w.motif.name() << " threads=" << threads;
+      ASSERT_EQ(parallel.stats.num_structural_matches,
+                serial.stats.num_structural_matches);
+      ASSERT_EQ(parallel.stats.num_windows_processed,
+                serial.stats.num_windows_processed);
+      ASSERT_EQ(parallel.stats.num_phi_prunes, serial.stats.num_phi_prunes);
+      ASSERT_EQ(parallel.stats.num_domination_skips,
+                serial.stats.num_domination_skips);
+      // The full materialized instance sets, in the same order.
+      ASSERT_EQ(parallel.instances, serial.instances)
+          << w.motif.name() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, CountIdenticalAcrossThreadCounts) {
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kCount;
+    options.delta = w.delta;
+    options.phi = w.phi;
+
+    options.num_threads = 1;
+    const QueryResult serial = engine.Run(w.motif, options);
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const QueryResult parallel = engine.Run(w.motif, options);
+      ASSERT_EQ(parallel.stats.num_instances, serial.stats.num_instances)
+          << w.motif.name() << " threads=" << threads;
+      ASSERT_EQ(parallel.memo_hits, serial.memo_hits);
+      ASSERT_EQ(parallel.stats.num_windows_processed,
+                serial.stats.num_windows_processed);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, TopKIdenticalAcrossThreadCounts) {
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kTopK;
+    options.delta = w.delta;
+    options.phi = 0.0;
+    options.k = 10;
+
+    options.num_threads = 1;
+    const QueryResult serial = engine.Run(w.motif, options);
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const QueryResult parallel = engine.Run(w.motif, options);
+      ASSERT_EQ(parallel.topk.size(), serial.topk.size())
+          << w.motif.name() << " threads=" << threads;
+      for (size_t i = 0; i < serial.topk.size(); ++i) {
+        ASSERT_DOUBLE_EQ(parallel.topk[i].flow, serial.topk[i].flow)
+            << w.motif.name() << " threads=" << threads << " entry " << i;
+        ASSERT_EQ(parallel.topk[i].instance, serial.topk[i].instance)
+            << w.motif.name() << " threads=" << threads << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, Top1IdenticalAcrossThreadCounts) {
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kTop1;
+    options.delta = w.delta;
+
+    options.num_threads = 1;
+    const QueryResult serial = engine.Run(w.motif, options);
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const QueryResult parallel = engine.Run(w.motif, options);
+      ASSERT_EQ(parallel.top1.found, serial.top1.found)
+          << w.motif.name() << " threads=" << threads;
+      if (serial.top1.found) {
+        ASSERT_DOUBLE_EQ(parallel.top1.max_flow, serial.top1.max_flow);
+        ASSERT_EQ(parallel.top1.best, serial.top1.best);
+        ASSERT_EQ(parallel.top1.binding, serial.top1.binding);
+      }
+      ASSERT_EQ(parallel.stats.num_windows_processed,
+                serial.stats.num_windows_processed);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, SignificanceIdenticalAcrossThreadCounts) {
+  // One preset is enough here: each report runs 1 + num_random_graphs
+  // full counts.
+  const DatasetPreset& preset = GetPreset(DatasetKind::kBitcoin);
+  const TimeSeriesGraph graph = GenerateDataset(preset, 0.03);
+  QueryEngine engine(graph);
+  QueryOptions options;
+  options.mode = QueryMode::kSignificance;
+  options.delta = preset.default_delta;
+  options.phi = preset.default_phi;
+  options.num_random_graphs = 8;
+  options.seed = 11;
+
+  options.num_threads = 1;
+  const QueryResult serial =
+      engine.Run(*MotifCatalog::ByName("M(3,2)"), options);
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    const QueryResult parallel =
+        engine.Run(*MotifCatalog::ByName("M(3,2)"), options);
+    ASSERT_EQ(parallel.significance.real_count,
+              serial.significance.real_count)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.significance.random_counts,
+              serial.significance.random_counts);
+    ASSERT_DOUBLE_EQ(parallel.significance.z_score,
+                     serial.significance.z_score);
+    ASSERT_DOUBLE_EQ(parallel.significance.p_value,
+                     serial.significance.p_value);
+  }
+}
+
+TEST(ParallelEquivalenceTest, ExplicitSmallBatchesStayIdentical) {
+  // Forcing many tiny batches exercises the merge logic far harder than
+  // the derived batch size does.
+  const DatasetPreset& preset = GetPreset(DatasetKind::kFacebook);
+  const TimeSeriesGraph graph = GenerateDataset(preset, 0.05);
+  QueryEngine engine(graph);
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+
+  QueryOptions options;
+  options.mode = QueryMode::kTopK;
+  options.delta = preset.default_delta;
+  options.k = 5;
+  options.num_threads = 1;
+  const QueryResult serial = engine.Run(motif, options);
+
+  options.num_threads = 8;
+  options.batch_size = 1;
+  const QueryResult parallel = engine.Run(motif, options);
+  ASSERT_EQ(parallel.topk.size(), serial.topk.size());
+  for (size_t i = 0; i < serial.topk.size(); ++i) {
+    ASSERT_DOUBLE_EQ(parallel.topk[i].flow, serial.topk[i].flow) << i;
+    ASSERT_EQ(parallel.topk[i].instance, serial.topk[i].instance) << i;
+  }
+}
+
+}  // namespace
+}  // namespace flowmotif

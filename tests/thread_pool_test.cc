@@ -1,0 +1,68 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace flowmotif {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed;
+  pool.Submit([&observed] { observed = std::this_thread::get_id(); });
+  // Inline mode: the task already ran on the submitting thread.
+  EXPECT_EQ(observed, caller);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(kN, [&hits](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller, so a plain int is safe.
+  pool.ParallelFor(1, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(10, [&sum](int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 5 * 45);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace flowmotif
