@@ -35,12 +35,22 @@ int g_bench_threads = 1;
 void InitBenchFlags(int argc, const char* const* argv) {
   FlagParser flags;
   flags.AddInt64("threads", 1,
-                 "phase-P2 worker threads (0 = all hardware threads)");
+                 "worker threads for both engine phases "
+                 "(0 = all hardware threads)");
   const Status status = flags.Parse(argc, argv);
-  FLOWMOTIF_CHECK(status.ok()) << status.ToString() << "\n"
-                               << flags.HelpString();
-  g_bench_threads = static_cast<int>(flags.GetInt64("threads"));
-  FLOWMOTIF_CHECK_GE(g_bench_threads, 0);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString();
+    std::exit(1);
+  }
+  // A clear rejection, not an aborting CHECK: a typo'd --threads=-1 is
+  // operator error, and it must not reach ThreadPool's CHECK either.
+  const int64_t threads = flags.GetInt64("threads");
+  const Status threads_status = ValidateThreadsFlag(threads);
+  if (!threads_status.ok()) {
+    std::cerr << threads_status << "\n";
+    std::exit(1);
+  }
+  g_bench_threads = static_cast<int>(threads);
   // Resolve "all hardware threads" here so reports print the real
   // count instead of "0 threads".
   if (g_bench_threads == 0) {

@@ -5,10 +5,13 @@
 // per sample at default delta/phi, all through the QueryEngine facade
 // (so --threads=N parallelizes every cell).
 //
-// A second section goes beyond the paper: thread scalability of phase
-// P2. For each preset it runs threshold enumeration and top-k with one
-// thread and with --threads workers, checks that instance counts and
-// top-k flows are byte-identical, and reports the speedup.
+// A second section goes beyond the paper: per-phase thread scalability.
+// For each preset it times phase P1 (structural matching) serial vs
+// parallel over the work-unit decomposition, checks the match lists are
+// byte-identical, then runs threshold enumeration and top-k over the
+// precomputed matches with one thread and with --threads workers
+// (isolating the phase-P2 speedup), checking that instance counts and
+// top-k flows are byte-identical too.
 //
 // Paper shape: cost grows with data size but at a slower pace than the
 // number of instances.
@@ -17,25 +20,41 @@
 
 #include "bench_common.h"
 #include "core/motif_catalog.h"
+#include "core/structural_match.h"
 #include "engine/query_engine.h"
 #include "graph/time_slice.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace flowmotif;
 using namespace flowmotif::bench;
 
 namespace {
 
+std::string Speedup(double serial_seconds, double parallel_seconds) {
+  return FormatDouble(serial_seconds / std::max(parallel_seconds, 1e-9), 2) +
+         "x";
+}
+
 /// One serial-vs-parallel comparison; returns false on any mismatch.
 bool CompareThreadScaling(const TimeSeriesGraph& graph, const Motif& motif,
                           const DatasetPreset& preset) {
   const QueryEngine engine(graph);
+  const StructuralMatcher matcher(graph, motif);
 
-  // Phase P1 is serial by design; computing the matches once and timing
-  // RunOnMatches isolates the phase-P2 speedup (what the threads
-  // actually scale) instead of diluting it by Amdahl's law.
-  const std::vector<MatchBinding> matches =
-      StructuralMatcher(graph, motif).FindAllMatches();
+  // Phase P1: serial reference vs the work-unit-parallel path.
+  WallTimer p1_serial_timer;
+  const std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  const double p1_serial = p1_serial_timer.ElapsedSeconds();
 
+  ThreadPool p1_pool(BenchThreads());
+  WallTimer p1_parallel_timer;
+  const std::vector<MatchBinding> parallel_matches =
+      matcher.FindAllMatchesParallel(&p1_pool);
+  const double p1_parallel = p1_parallel_timer.ElapsedSeconds();
+  bool identical = parallel_matches == matches;
+
+  // Phase P2 in isolation, over the precomputed matches.
   QueryOptions enumerate = BenchQueryOptions(
       QueryMode::kEnumerate, preset.default_delta, preset.default_phi);
   QueryOptions topk =
@@ -55,9 +74,10 @@ bool CompareThreadScaling(const TimeSeriesGraph& graph, const Motif& motif,
   const QueryResult parallel_topk =
       engine.RunOnMatches(motif, matches, topk);
 
-  bool identical = serial_enum.stats.num_instances ==
-                       parallel_enum.stats.num_instances &&
-                   serial_topk.topk.size() == parallel_topk.topk.size();
+  identical = identical &&
+              serial_enum.stats.num_instances ==
+                  parallel_enum.stats.num_instances &&
+              serial_topk.topk.size() == parallel_topk.topk.size();
   if (identical) {
     for (size_t i = 0; i < serial_topk.topk.size(); ++i) {
       identical = identical &&
@@ -66,18 +86,14 @@ bool CompareThreadScaling(const TimeSeriesGraph& graph, const Motif& motif,
   }
 
   PrintRow({motif.name(), FormatCount(serial_enum.stats.num_instances),
+            FormatSeconds(p1_serial), FormatSeconds(p1_parallel),
+            Speedup(p1_serial, p1_parallel),
             FormatSeconds(serial_enum.wall_seconds),
             FormatSeconds(parallel_enum.wall_seconds),
-            FormatDouble(
-                serial_enum.wall_seconds /
-                    std::max(parallel_enum.wall_seconds, 1e-9),
-                2) + "x",
+            Speedup(serial_enum.wall_seconds, parallel_enum.wall_seconds),
             FormatSeconds(serial_topk.wall_seconds),
             FormatSeconds(parallel_topk.wall_seconds),
-            FormatDouble(
-                serial_topk.wall_seconds /
-                    std::max(parallel_topk.wall_seconds, 1e-9),
-                2) + "x",
+            Speedup(serial_topk.wall_seconds, parallel_topk.wall_seconds),
             identical ? "yes" : "MISMATCH"});
   return identical;
 }
@@ -138,14 +154,15 @@ int main(int argc, char** argv) {
     for (const auto& row : time_rows) PrintRow(row);
   }
 
-  // Beyond the paper: phase-P2 thread scalability on the full datasets.
+  // Beyond the paper: per-phase thread scalability on the full datasets.
   bool all_identical = true;
   for (const DatasetPreset& preset : AllPresets()) {
     const TimeSeriesGraph& graph = BenchGraph(preset);
-    PrintHeader("Thread scalability (" + preset.name + "): 1 vs " +
+    PrintHeader("Per-phase thread scalability (" + preset.name + "): 1 vs " +
                 std::to_string(BenchThreads()) + " threads");
-    PrintRow({"motif", "#inst", "enum 1t", "enum Nt", "speedup", "topk 1t",
-              "topk Nt", "speedup", "identical"});
+    PrintRow({"motif", "#inst", "P1 1t", "P1 Nt", "P1 spd", "enum 1t",
+              "enum Nt", "enum spd", "topk 1t", "topk Nt", "topk spd",
+              "identical"});
     for (const std::string& name : {std::string("M(3,2)"),
                                     std::string("M(3,3)")}) {
       all_identical =

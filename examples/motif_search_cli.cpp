@@ -133,7 +133,6 @@ int main(int argc, char** argv) {
   options.k = flags.GetInt64("k");
   options.strict_maximality = flags.GetBool("strict");
   options.collect_limit = flags.GetInt64("limit");
-  options.num_threads = static_cast<int>(flags.GetInt64("threads"));
   options.num_random_graphs =
       static_cast<int>(flags.GetInt64("random-graphs"));
   options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
@@ -151,9 +150,13 @@ int main(int argc, char** argv) {
   if (options.collect_limit < -1) {
     return reject("--limit must be -1 (all), 0 (none), or positive");
   }
-  if (options.num_threads < 0) {
-    return reject("--threads must be >= 0 (0 = all hardware threads)");
-  }
+  // Validated before the narrowing cast: a negative (or absurd) value
+  // must never reach ThreadPool's aborting CHECK, and casting first
+  // could wrap it into a "valid" count.
+  const int64_t threads_flag = flags.GetInt64("threads");
+  const Status threads_status = ValidateThreadsFlag(threads_flag);
+  if (!threads_status.ok()) return reject(threads_status.message());
+  options.num_threads = static_cast<int>(threads_flag);
   if (options.num_random_graphs < 1) {
     return reject("--random-graphs must be >= 1");
   }

@@ -120,12 +120,17 @@ StatusOr<Motif> Motif::Parse(const std::string& text, std::string name) {
         return Status::InvalidArgument("bad motif edge syntax: '" + token +
                                        "' in '" + text + "'");
       }
+      // The substrings must outlive `end`, which strtol leaves pointing
+      // into their buffers — a temporary would die with `end` still
+      // dereferenced below.
+      const std::string src_text = token.substr(0, arrow);
+      const std::string dst_text = token.substr(arrow + 1);
       char* end = nullptr;
-      long src = std::strtol(token.substr(0, arrow).c_str(), &end, 10);
+      long src = std::strtol(src_text.c_str(), &end, 10);
       if (*end != '\0') {
         return Status::InvalidArgument("bad motif node in '" + token + "'");
       }
-      long dst = std::strtol(token.substr(arrow + 1).c_str(), &end, 10);
+      long dst = std::strtol(dst_text.c_str(), &end, 10);
       if (*end != '\0') {
         return Status::InvalidArgument("bad motif node in '" + token + "'");
       }

@@ -25,10 +25,15 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
 
   // Structural matches are flow-independent: compute once on the real
   // graph and reuse on every permutation (Sec. 6.3 observes that all
-  // structural matches of G also appear in Gr).
+  // structural matches of G also appear in Gr). The parallel work-unit
+  // path merges deterministically, so the reused list is identical for
+  // any pool size.
   std::vector<MatchBinding> matches;
   if (options_.reuse_matches) {
-    matches = StructuralMatcher(graph_, motif).FindAllMatches();
+    const StructuralMatcher matcher(graph_, motif);
+    matches = options_.pool != nullptr
+                  ? matcher.FindAllMatchesParallel(options_.pool)
+                  : matcher.FindAllMatches();
   }
 
   // The RNG stream is keyed on the seed only, so randomized graph i is

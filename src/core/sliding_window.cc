@@ -1,31 +1,37 @@
 #include "core/sliding_window.h"
 
-#include <limits>
-
 namespace flowmotif {
 
 std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
                                             const EdgeSeries& last,
                                             Timestamp delta) {
   std::vector<Window> windows;
-  Timestamp prev_end = std::numeric_limits<Timestamp>::min();
-  Timestamp prev_anchor = std::numeric_limits<Timestamp>::min();
+  // "No window processed yet" is tracked explicitly: encoding it as
+  // numeric_limits::min() sentinels collided with a legal first anchor
+  // at exactly that timestamp, which was then dropped as a "duplicate"
+  // and whose `anchor - 1` probe underflowed.
+  bool have_processed = false;
+  Timestamp prev_end = 0;
+  Timestamp prev_anchor = 0;
 
   for (size_t i = 0; i < first.size(); ++i) {
     const Timestamp anchor = first.time(i);
-    if (anchor == prev_anchor) continue;  // duplicate anchor timestamp
+    if (have_processed && anchor == prev_anchor) {
+      continue;  // duplicate anchor timestamp
+    }
     const Timestamp end = anchor + delta;
     // Novelty rule: the window must contain an R(em) element later than
     // the previous processed window's end. For the first window this
-    // reduces to "contains any R(em) element within [anchor, end]".
-    const Timestamp lo =
-        prev_end == std::numeric_limits<Timestamp>::min()
-            ? anchor - 1  // include elements at exactly `anchor`
-            : prev_end;
-    if (!last.HasElementInOpenClosed(lo, end)) continue;
+    // reduces to "contains any R(em) element within [anchor, end]" —
+    // queried closed so the minimum anchor needs no `anchor - 1`.
+    const bool has_new = have_processed
+                             ? last.HasElementInOpenClosed(prev_end, end)
+                             : last.HasElementInClosed(anchor, end);
+    if (!has_new) continue;
     windows.push_back(Window{anchor, end});
     prev_end = end;
     prev_anchor = anchor;
+    have_processed = true;
   }
   return windows;
 }
@@ -33,7 +39,7 @@ std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
                                       Timestamp delta) {
   std::vector<Window> windows;
-  Timestamp prev_anchor = std::numeric_limits<Timestamp>::min();
+  Timestamp prev_anchor = 0;
   bool have_prev = false;
   for (size_t i = 0; i < first.size(); ++i) {
     const Timestamp anchor = first.time(i);

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/logging.h"
+#include "util/partition.h"
 
 namespace flowmotif {
 
@@ -11,7 +12,19 @@ StructuralMatcher::StructuralMatcher(const TimeSeriesGraph& graph,
     : graph_(graph), motif_(motif) {}
 
 void StructuralMatcher::FindAll(const MatchVisitor& visitor) const {
+  FindInUnits(0, NumWorkUnits(), visitor);
+}
+
+int64_t StructuralMatcher::NumWorkUnits() const {
+  return motif_.is_path() ? static_cast<int64_t>(graph_.num_vertices())
+                          : static_cast<int64_t>(graph_.num_pairs());
+}
+
+bool StructuralMatcher::FindInUnits(int64_t begin, int64_t end,
+                                    const MatchVisitor& visitor) const {
   FLOWMOTIF_CHECK(visitor != nullptr);
+  FLOWMOTIF_CHECK_GE(begin, 0);
+  FLOWMOTIF_CHECK_LE(end, NumWorkUnits());
   MatchBinding binding(static_cast<size_t>(motif_.num_nodes()), -1);
   // The injectivity filter: a graph vertex may back at most one motif
   // node. A bitmap over vertices keeps the check O(1); motif sizes are
@@ -19,21 +32,77 @@ void StructuralMatcher::FindAll(const MatchVisitor& visitor) const {
   std::vector<bool> vertex_used(static_cast<size_t>(graph_.num_vertices()),
                                 false);
   bool stop = false;
+  for (int64_t unit = begin; unit < end && !stop; ++unit) {
+    FindInUnitImpl(unit, &binding, &vertex_used, visitor, &stop);
+  }
+  return !stop;
+}
 
-  if (!motif_.is_path()) {
-    GeneralDfs(0, &binding, &vertex_used, visitor, &stop);
+void StructuralMatcher::FindInUnitImpl(int64_t unit, MatchBinding* binding,
+                                       std::vector<bool>* vertex_used,
+                                       const MatchVisitor& visitor,
+                                       bool* stop) const {
+  if (motif_.is_path()) {
+    const VertexId v = static_cast<VertexId>(unit);
+    if (graph_.OutDegree(v) == 0) return;  // origin needs an out-edge
+    const MotifNode origin = motif_.path().front();
+    (*binding)[static_cast<size_t>(origin)] = v;
+    (*vertex_used)[static_cast<size_t>(v)] = true;
+    Dfs(0, binding, vertex_used, visitor, stop);
+    (*vertex_used)[static_cast<size_t>(v)] = false;
+    (*binding)[static_cast<size_t>(origin)] = -1;
     return;
   }
+  // General motif: the unit binds the first labeled edge to one pair
+  // edge (both endpoints are necessarily fresh at edge 0), then the
+  // usual label-order backtracking takes over.
+  const TimeSeriesGraph::PairEdge& pe =
+      graph_.pair(static_cast<size_t>(unit));
+  if (pe.src == pe.dst) return;  // motifs have no self-loops
+  const auto [src_node, dst_node] = motif_.edge(0);
+  (*binding)[static_cast<size_t>(src_node)] = pe.src;
+  (*vertex_used)[static_cast<size_t>(pe.src)] = true;
+  (*binding)[static_cast<size_t>(dst_node)] = pe.dst;
+  (*vertex_used)[static_cast<size_t>(pe.dst)] = true;
+  GeneralDfs(1, binding, vertex_used, visitor, stop);
+  (*vertex_used)[static_cast<size_t>(pe.dst)] = false;
+  (*binding)[static_cast<size_t>(dst_node)] = -1;
+  (*vertex_used)[static_cast<size_t>(pe.src)] = false;
+  (*binding)[static_cast<size_t>(src_node)] = -1;
+}
 
-  const MotifNode origin = motif_.path().front();
-  for (VertexId v = 0; v < graph_.num_vertices() && !stop; ++v) {
-    if (graph_.OutDegree(v) == 0) continue;  // origin needs an out-edge
-    binding[static_cast<size_t>(origin)] = v;
-    vertex_used[static_cast<size_t>(v)] = true;
-    Dfs(0, &binding, &vertex_used, visitor, &stop);
-    vertex_used[static_cast<size_t>(v)] = false;
-    binding[static_cast<size_t>(origin)] = -1;
+std::vector<MatchBinding> StructuralMatcher::FindAllMatchesParallel(
+    ThreadPool* pool) const {
+  FLOWMOTIF_CHECK(pool != nullptr);
+  if (pool->num_threads() == 1) return FindAllMatches();
+  // Several unit ranges per worker (the shared chunking heuristic):
+  // match density varies wildly across origins, so dynamic scheduling
+  // needs the slack.
+  const std::vector<IndexRange> ranges =
+      PartitionIndexSpace(NumWorkUnits(), pool->num_threads());
+  if (ranges.empty()) return {};
+
+  std::vector<std::vector<MatchBinding>> shards(ranges.size());
+  pool->ParallelFor(static_cast<int64_t>(ranges.size()), [&](int64_t r) {
+    std::vector<MatchBinding>& shard = shards[static_cast<size_t>(r)];
+    FindInUnits(ranges[static_cast<size_t>(r)].begin,
+                ranges[static_cast<size_t>(r)].end,
+                [&shard](const MatchBinding& b) {
+                  shard.push_back(b);
+                  return true;
+                });
+  });
+
+  // Deterministic merge: concatenating the shards in range order is the
+  // serial discovery order.
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<MatchBinding> matches;
+  matches.reserve(total);
+  for (auto& shard : shards) {
+    for (MatchBinding& b : shard) matches.push_back(std::move(b));
   }
+  return matches;
 }
 
 void StructuralMatcher::GeneralDfs(int edge_idx, MatchBinding* binding,

@@ -7,6 +7,7 @@
 
 #include "core/motif.h"
 #include "graph/time_series_graph.h"
+#include "util/thread_pool.h"
 
 namespace flowmotif {
 
@@ -30,6 +31,12 @@ namespace flowmotif {
 ///
 /// Enumeration order is deterministic: origins in vertex order, neighbors
 /// in CSR (destination / source) order.
+///
+/// The search decomposes into independent *work units* — one candidate
+/// origin vertex for path motifs, one pair edge as the image of the
+/// first labeled edge for general motifs — which is what the engine's
+/// parallel execution path partitions across workers: per-unit match
+/// lists concatenated in unit order reproduce the serial order exactly.
 class StructuralMatcher {
  public:
   /// Visitor invoked per match; return false to stop the search early.
@@ -42,8 +49,28 @@ class StructuralMatcher {
   /// Streams every structural match to `visitor`.
   void FindAll(const MatchVisitor& visitor) const;
 
+  /// Number of independent work units the search decomposes into: one
+  /// per graph vertex (path motifs, candidate origins) or one per pair
+  /// edge (general motifs, images of the first labeled edge). Units may
+  /// be empty — e.g. an origin with no out-edge.
+  int64_t NumWorkUnits() const;
+
+  /// Streams every match whose work unit lies in [begin, end), in the
+  /// serial FindAll order. FindAll is exactly
+  /// FindInUnits(0, NumWorkUnits(), visitor). Returns false iff the
+  /// visitor stopped the search early.
+  bool FindInUnits(int64_t begin, int64_t end,
+                   const MatchVisitor& visitor) const;
+
   /// Convenience: materializes all matches.
   std::vector<MatchBinding> FindAllMatches() const;
+
+  /// Parallel phase P1: partitions the work units into contiguous
+  /// ranges dispatched on `pool`, then concatenates the per-range match
+  /// buffers in range order — byte-identical to FindAllMatches() for
+  /// every thread count. Early stop is not supported (the visitor-free
+  /// API materializes everything).
+  std::vector<MatchBinding> FindAllMatchesParallel(ThreadPool* pool) const;
 
   /// Counts matches without materializing them.
   int64_t CountMatches() const;
@@ -54,6 +81,11 @@ class StructuralMatcher {
   bool IsMatch(const MatchBinding& binding) const;
 
  private:
+  /// Runs one work unit with caller-provided scratch (reused across
+  /// units so a range of units costs one allocation, not one per unit).
+  void FindInUnitImpl(int64_t unit, MatchBinding* binding,
+                      std::vector<bool>* vertex_used,
+                      const MatchVisitor& visitor, bool* stop) const;
   void Dfs(size_t step, MatchBinding* binding,
            std::vector<bool>* vertex_used, const MatchVisitor& visitor,
            bool* stop) const;

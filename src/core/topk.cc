@@ -57,18 +57,53 @@ std::vector<TopKEntry> TopKCollector::Drain() {
   return entries;
 }
 
+SharedFlowThreshold::SharedFlowThreshold(int64_t k) : k_(k) {
+  FLOWMOTIF_CHECK_GE(k, 1);
+}
+
 Flow SharedFlowThreshold::ExclusiveBound() const {
-  const Flow kth = kth_best_.load(std::memory_order_relaxed);
+  // Acquire pairs with the release in RaiseToKthBest: a reader that
+  // observes a raised bound also observes everything the raiser did
+  // first, so the bound it acts on is a completed certificate. A stale
+  // (older, looser) value is harmless — see the class comment.
+  const Flow kth = kth_best_.load(std::memory_order_acquire);
   if (kth <= 0.0) return 0.0;
   return std::nextafter(kth, -std::numeric_limits<Flow>::infinity());
 }
 
 void SharedFlowThreshold::RaiseToKthBest(Flow kth_best) {
+  // CAS-max keeps the bound monotone under concurrent raises; the
+  // release makes each successful raise a publication point.
   Flow current = kth_best_.load(std::memory_order_relaxed);
   while (kth_best > current &&
          !kth_best_.compare_exchange_weak(current, kth_best,
+                                          std::memory_order_release,
                                           std::memory_order_relaxed)) {
   }
+}
+
+void SharedFlowThreshold::Observe(Flow flow) {
+  if (k_ <= 0) return;
+  // Fast path: once k flows are recorded, a flow at or below the
+  // current bound cannot tighten it. The acquire on `saturated_` pairs
+  // with the release below so the subsequent bound load is meaningful.
+  if (saturated_.load(std::memory_order_acquire) &&
+      flow <= kth_best_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(best_.size()) < k_) {
+    best_.push(flow);
+    if (static_cast<int64_t>(best_.size()) == k_) {
+      RaiseToKthBest(best_.top());
+      saturated_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  if (flow <= best_.top()) return;
+  best_.pop();
+  best_.push(flow);
+  RaiseToKthBest(best_.top());
 }
 
 TopKSearcher::TopKSearcher(const TimeSeriesGraph& graph, const Motif& motif,

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -97,13 +99,37 @@ class TopKCollector {
 
 /// The thread-safe floating top-k threshold of the engine's parallel
 /// path: a monotonically increasing atomic lower bound on the global
-/// k-th best flow, fed by every worker's local collector. The exposed
-/// bound admits flows *equal* to the recorded k-th best — unlike the
-/// serial TopKSearcher threshold — because an equal-flow instance from
-/// a match that serial order would have visited earlier can still win
-/// the rank tie-break; TopKCollector rejects the ones that cannot.
+/// k-th best flow. The exposed bound admits flows *equal* to the
+/// recorded k-th best — unlike the serial TopKSearcher threshold —
+/// because an equal-flow instance from a match that serial order would
+/// have visited earlier can still win the rank tie-break; TopKCollector
+/// rejects the ones that cannot.
+///
+/// Constructed with a capacity k, Observe() maintains the k best flows
+/// emitted across *all* workers and raises the bound to their minimum —
+/// the global k-th best across partially filled collectors. This is
+/// strictly tighter than waiting for a single worker's collector to
+/// fill (the global k best dominate any one worker's k best pointwise),
+/// and it recovers the serial pruning rate: with one thread the bound
+/// tracks exactly the serial searcher's k-th-best-so-far.
+///
+/// Soundness does not depend on readers seeing the newest bound: a
+/// stale read yields a *looser* bound, which admits extra candidates
+/// but never drops one, and every admitted candidate is re-checked by a
+/// bounded TopKCollector, so an instance below the final cut can never
+/// re-enter the results. The acquire/release pairing below makes each
+/// published bound a self-contained certificate ("k instances with at
+/// least this flow were emitted before this store") and keeps the
+/// per-thread sequence of observed bounds monotone.
 class SharedFlowThreshold {
  public:
+  /// A threshold without capacity: only RaiseToKthBest certificates
+  /// feed it (Observe is a no-op).
+  SharedFlowThreshold() = default;
+
+  /// A threshold tracking the k best observed flows; k >= 1.
+  explicit SharedFlowThreshold(int64_t k);
+
   /// Value for EnumerationOptions::dynamic_min_flow_exclusive: the
   /// largest double strictly below the recorded k-th best (so the
   /// enumerator's strict `flow > bound` check admits flow == k-th
@@ -116,8 +142,20 @@ class SharedFlowThreshold {
   /// higher.
   void RaiseToKthBest(Flow kth_best);
 
+  /// Records one emitted instance's flow. Once k flows are known the
+  /// bound rises to the k-th best of everything observed so far. A
+  /// lock-free fast path discards flows that cannot tighten the bound,
+  /// so the mutex is only contended while the bound is still moving.
+  void Observe(Flow flow);
+
  private:
   std::atomic<Flow> kth_best_{0.0};
+
+  // Observe() state: the k best flows seen, as a min-heap.
+  int64_t k_ = 0;
+  std::atomic<bool> saturated_{false};  // k flows recorded
+  std::mutex mu_;
+  std::priority_queue<Flow, std::vector<Flow>, std::greater<Flow>> best_;
 };
 
 /// Top-k flow motif search (Sec. 5): instead of a fixed phi, find the k

@@ -1,41 +1,51 @@
 #include "engine/batching.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace flowmotif {
 
-namespace {
-/// Target batches per thread when the size is derived: enough slack for
-/// dynamic load balancing, few enough that per-batch bookkeeping (a
-/// local result, a local top-k collector) stays negligible.
-constexpr int64_t kBatchesPerThread = 8;
-}  // namespace
+ShardPrefixMerger::ShardPrefixMerger(int64_t num_shards)
+    : shards_(static_cast<size_t>(num_shards)),
+      complete_(static_cast<size_t>(num_shards), false) {
+  FLOWMOTIF_CHECK_GE(num_shards, 0);
+}
 
-std::vector<MatchBatch> PartitionMatches(int64_t num_matches,
-                                         int num_threads,
-                                         int64_t batch_size) {
-  FLOWMOTIF_CHECK_GE(num_matches, 0);
-  FLOWMOTIF_CHECK_GE(num_threads, 1);
-  FLOWMOTIF_CHECK_GE(batch_size, 0);
-  std::vector<MatchBatch> batches;
-  if (num_matches == 0) return batches;
-  if (num_threads == 1 && batch_size == 0) {
-    batches.push_back({0, num_matches});
-    return batches;
+std::vector<ShardPrefixMerger::ReleasedShardEntry> ShardPrefixMerger::Complete(
+    int64_t shard, std::vector<MatchBinding> matches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWMOTIF_CHECK_GE(shard, 0);
+  FLOWMOTIF_CHECK_LT(shard, static_cast<int64_t>(shards_.size()));
+  FLOWMOTIF_CHECK(!complete_[static_cast<size_t>(shard)])
+      << "shard " << shard << " completed twice";
+  shards_[static_cast<size_t>(shard)] = std::move(matches);
+  complete_[static_cast<size_t>(shard)] = true;
+
+  std::vector<ReleasedShardEntry> released;
+  while (next_unreleased_ < static_cast<int64_t>(shards_.size()) &&
+         complete_[static_cast<size_t>(next_unreleased_)]) {
+    const std::vector<MatchBinding>& buffer =
+        shards_[static_cast<size_t>(next_unreleased_)];
+    released.push_back({next_unreleased_, {released_matches_, &buffer}});
+    released_matches_ += static_cast<int64_t>(buffer.size());
+    ++next_unreleased_;
   }
-  if (batch_size == 0) {
-    const int64_t target = static_cast<int64_t>(num_threads) *
-                           kBatchesPerThread;
-    batch_size = std::max<int64_t>(1, (num_matches + target - 1) / target);
-  }
-  batches.reserve(
-      static_cast<size_t>((num_matches + batch_size - 1) / batch_size));
-  for (int64_t begin = 0; begin < num_matches; begin += batch_size) {
-    batches.push_back({begin, std::min(begin + batch_size, num_matches)});
-  }
-  return batches;
+  return released;
+}
+
+void ShardPrefixMerger::FreeShard(int64_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWMOTIF_CHECK_GE(shard, 0);
+  FLOWMOTIF_CHECK_LT(shard, static_cast<int64_t>(shards_.size()));
+  // Element addresses in shards_ stay stable; only this slot's buffer
+  // is reclaimed.
+  std::vector<MatchBinding>().swap(shards_[static_cast<size_t>(shard)]);
+}
+
+int64_t ShardPrefixMerger::num_released() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return released_matches_;
 }
 
 }  // namespace flowmotif

@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <utility>
 
@@ -27,7 +28,129 @@ EnumerationOptions ToEnumerationOptions(const QueryOptions& options) {
   return eopts;
 }
 
+/// P2 batch cap of the streamed path. Batches are cut per released P1
+/// shard, so the usual count-derived size is unavailable; a fixed cap
+/// keeps batches small enough for load balancing and is
+/// timing-independent, so the batch layout is deterministic.
+constexpr int64_t kStreamedBatchCap = 256;
+
+/// The per-match bodies below are shared by the barrier and streamed
+/// execution paths, so their semantics (DiscoveryRank keys, counter
+/// accounting, threshold feeding) cannot silently diverge.
+
+/// Enumerates one contiguous run of matches, streaming instances to
+/// `visitor` (which may be null for counters-only).
+EnumerationResult EnumerateRun(const FlowMotifEnumerator& enumerator,
+                               const MatchBinding* begin,
+                               const MatchBinding* end,
+                               const InstanceVisitor& visitor) {
+  EnumerationResult stats;
+  WallTimer timer;
+  for (const MatchBinding* m = begin; m < end; ++m) {
+    ++stats.num_structural_matches;
+    enumerator.EnumerateMatch(*m, visitor, &stats);
+  }
+  stats.phase2_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+/// Top-k over one contiguous run of matches whose first serial index is
+/// `first_match_index`: every emission is offered to a local bounded
+/// collector under its DiscoveryRank and observed by the shared
+/// threshold; the local collector then folds into `global` and the
+/// run's counters into `total_stats`, both under `mu` (fold order is
+/// irrelevant — the bounded collector is insertion-order-independent
+/// and the counters are sums).
+void ProcessTopKRun(const FlowMotifEnumerator& enumerator,
+                    const MatchBinding* begin, const MatchBinding* end,
+                    int64_t first_match_index, int64_t k,
+                    SharedFlowThreshold* shared, TopKCollector* global,
+                    EnumerationResult* total_stats, std::mutex* mu) {
+  TopKCollector local(k);
+  int64_t m_index = first_match_index;
+  EnumerationResult stats;
+  WallTimer timer;
+  for (const MatchBinding* m = begin; m < end; ++m, ++m_index) {
+    ++stats.num_structural_matches;
+    int64_t emit_index = 0;
+    enumerator.EnumerateMatch(
+        *m,
+        [&local, shared, m_index, &emit_index](const InstanceView& view) {
+          local.Offer(view.flow, DiscoveryRank{m_index, emit_index++}, view);
+          shared->Observe(view.flow);
+          return true;
+        },
+        &stats);
+  }
+  stats.phase2_seconds = timer.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(*mu);
+  global->MergeFrom(std::move(local));
+  total_stats->MergeFrom(stats);
+}
+
+/// Counts one contiguous run of matches.
+InstanceCounter::Result CountRun(const InstanceCounter& counter,
+                                 const MatchBinding* begin,
+                                 const MatchBinding* end, double* seconds) {
+  InstanceCounter::Result counts;
+  WallTimer timer;
+  for (const MatchBinding* m = begin; m < end; ++m) {
+    ++counts.num_structural_matches;
+    counts.num_instances += counter.CountMatch(*m, &counts);
+  }
+  *seconds = timer.ElapsedSeconds();
+  return counts;
+}
+
+/// Folds one run's counting output into the result (all sums, so any
+/// fold order reproduces the serial counters).
+void AccumulateCounts(const InstanceCounter::Result& counts, double seconds,
+                      QueryResult* result) {
+  result->stats.num_instances += counts.num_instances;
+  result->stats.num_structural_matches += counts.num_structural_matches;
+  result->stats.num_windows_processed += counts.num_windows;
+  result->memo_hits += counts.memo_hits;
+  result->stats.phase2_seconds += seconds;
+}
+
+/// Folds per-batch DP incumbents, in serial batch order, with the
+/// strictly-greater rule — the same rule the serial searcher applies
+/// per match, so the merged winner is the serial winner (earliest batch
+/// wins flow ties).
+MaxFlowDpSearcher::Result MergeTop1Outputs(
+    std::vector<MaxFlowDpSearcher::Result>* outputs) {
+  MaxFlowDpSearcher::Result best;
+  for (MaxFlowDpSearcher::Result& out : *outputs) {
+    best.num_windows += out.num_windows;
+    best.seconds += out.seconds;
+    if (out.found && (!best.found || out.max_flow > best.max_flow)) {
+      const int64_t num_windows = best.num_windows;
+      const double seconds = best.seconds;
+      best = std::move(out);
+      best.num_windows = num_windows;
+      best.seconds = seconds;
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+bool QueryEngine::CanStream(const QueryOptions& options) {
+  switch (options.mode) {
+    case QueryMode::kCount:
+    case QueryMode::kTopK:
+    case QueryMode::kTop1:
+      return true;
+    case QueryMode::kEnumerate:
+      // Collecting instances requires the per-batch truncation trick of
+      // RunEnumerate, which wants the whole batch layout up front.
+      return options.collect_limit == 0;
+    case QueryMode::kSignificance:
+      return false;
+  }
+  return false;
+}
 
 QueryResult QueryEngine::Run(const Motif& motif,
                              const QueryOptions& options) const {
@@ -43,9 +166,23 @@ QueryResult QueryEngine::Run(const Motif& motif,
     return result;
   }
 
+  if (pool.num_threads() > 1 && CanStream(options)) {
+    QueryResult result;
+    result.mode = options.mode;
+    result.threads_used = pool.num_threads();
+    RunStreamed(motif, options, &pool, &result);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
+
+  // Barrier path: materialize the full match list (serial on one
+  // thread — the bit-for-bit reference — otherwise parallel over work
+  // units with a deterministic merge), then dispatch P2 over it.
   WallTimer p1_timer;
+  const StructuralMatcher matcher(graph_, motif);
   const std::vector<MatchBinding> matches =
-      StructuralMatcher(graph_, motif).FindAllMatches();
+      pool.num_threads() == 1 ? matcher.FindAllMatches()
+                              : matcher.FindAllMatchesParallel(&pool);
   const double phase1_seconds = p1_timer.ElapsedSeconds();
 
   QueryResult result = Dispatch(motif, matches, options, &pool);
@@ -114,7 +251,7 @@ void QueryEngine::RunEnumerate(const Motif& motif,
   pool->ParallelFor(
       static_cast<int64_t>(batches.size()), [&](int64_t b) {
         BatchOutput& out = outputs[static_cast<size_t>(b)];
-        WallTimer timer;
+        const MatchBatch& batch = batches[static_cast<size_t>(b)];
         InstanceVisitor visitor;
         if (limit != 0) {
           // Each batch keeps at most `limit` instances: the global first
@@ -129,13 +266,8 @@ void QueryEngine::RunEnumerate(const Motif& motif,
             return true;
           };
         }
-        for (int64_t m = batches[static_cast<size_t>(b)].begin;
-             m < batches[static_cast<size_t>(b)].end; ++m) {
-          ++out.stats.num_structural_matches;
-          enumerator.EnumerateMatch(matches[static_cast<size_t>(m)], visitor,
-                                    &out.stats);
-        }
-        out.stats.phase2_seconds = timer.ElapsedSeconds();
+        out.stats = EnumerateRun(enumerator, matches.data() + batch.begin,
+                                 matches.data() + batch.end, visitor);
       });
 
   for (BatchOutput& out : outputs) {
@@ -169,22 +301,13 @@ void QueryEngine::RunCount(const Motif& motif,
   pool->ParallelFor(
       static_cast<int64_t>(batches.size()), [&](int64_t b) {
         BatchOutput& out = outputs[static_cast<size_t>(b)];
-        WallTimer timer;
-        for (int64_t m = batches[static_cast<size_t>(b)].begin;
-             m < batches[static_cast<size_t>(b)].end; ++m) {
-          ++out.counts.num_structural_matches;
-          out.counts.num_instances += counter.CountMatch(
-              matches[static_cast<size_t>(m)], &out.counts);
-        }
-        out.seconds = timer.ElapsedSeconds();
+        const MatchBatch& batch = batches[static_cast<size_t>(b)];
+        out.counts = CountRun(counter, matches.data() + batch.begin,
+                              matches.data() + batch.end, &out.seconds);
       });
 
   for (const BatchOutput& out : outputs) {
-    result->stats.num_instances += out.counts.num_instances;
-    result->stats.num_structural_matches += out.counts.num_structural_matches;
-    result->stats.num_windows_processed += out.counts.num_windows;
-    result->memo_hits += out.counts.memo_hits;
-    result->stats.phase2_seconds += out.seconds;
+    AccumulateCounts(out.counts, out.seconds, result);
   }
 }
 
@@ -193,7 +316,10 @@ void QueryEngine::RunTopK(const Motif& motif,
                           const QueryOptions& options, ThreadPool* pool,
                           QueryResult* result) const {
   FLOWMOTIF_CHECK_GE(options.k, 1);
-  SharedFlowThreshold shared;
+  // The shared threshold tracks the k-th best flow across *all* workers'
+  // emissions (Observe), so it tightens before any single collector
+  // fills and matches the serial searcher's pruning rate.
+  SharedFlowThreshold shared(options.k);
   EnumerationOptions eopts = ToEnumerationOptions(options);
   eopts.dynamic_min_flow_exclusive = [&shared]() {
     return shared.ExclusiveBound();
@@ -204,44 +330,21 @@ void QueryEngine::RunTopK(const Motif& motif,
       options.batch_size);
   result->num_batches = static_cast<int64_t>(batches.size());
 
-  // Completed batches fold into one global collector so the shared
-  // threshold tracks the true k-th best seen so far (small batches
-  // alone would rarely fill a local collector). The fold order is
+  // Completed batches fold into one global collector. The fold order is
   // whatever order batches finish in — harmless, because the bounded
-  // collector's contents are insertion-order-independent.
+  // collector's contents are insertion-order-independent and the
+  // counters are sums.
   TopKCollector global(options.k);
   std::mutex global_mu;
-  std::vector<EnumerationResult> batch_stats(batches.size());
 
   pool->ParallelFor(
       static_cast<int64_t>(batches.size()), [&](int64_t b) {
-        EnumerationResult& stats = batch_stats[static_cast<size_t>(b)];
-        TopKCollector local(options.k);
-        WallTimer timer;
-        for (int64_t m = batches[static_cast<size_t>(b)].begin;
-             m < batches[static_cast<size_t>(b)].end; ++m) {
-          ++stats.num_structural_matches;
-          int64_t emit_index = 0;
-          enumerator.EnumerateMatch(
-              matches[static_cast<size_t>(m)],
-              [&local, &shared, m, &emit_index](const InstanceView& view) {
-                local.Offer(view.flow, DiscoveryRank{m, emit_index++}, view);
-                if (local.full()) {
-                  shared.RaiseToKthBest(local.KthBestFlow());
-                }
-                return true;
-              },
-              &stats);
-        }
-        stats.phase2_seconds = timer.ElapsedSeconds();
-        std::lock_guard<std::mutex> lock(global_mu);
-        global.MergeFrom(std::move(local));
-        if (global.full()) shared.RaiseToKthBest(global.KthBestFlow());
+        const MatchBatch& batch = batches[static_cast<size_t>(b)];
+        ProcessTopKRun(enumerator, matches.data() + batch.begin,
+                       matches.data() + batch.end, batch.begin, options.k,
+                       &shared, &global, &result->stats, &global_mu);
       });
 
-  for (const EnumerationResult& stats : batch_stats) {
-    result->stats.MergeFrom(stats);
-  }
   result->topk = global.Drain();
 }
 
@@ -263,27 +366,192 @@ void QueryEngine::RunTop1(const Motif& motif,
             matches.data() + batch.begin, matches.data() + batch.end);
       });
 
-  MaxFlowDpSearcher::Result best;
-  for (MaxFlowDpSearcher::Result& out : outputs) {
-    best.num_windows += out.num_windows;
-    best.seconds += out.seconds;
-    // Strictly-greater keeps the earliest batch on flow ties — the same
-    // rule the serial searcher applies per match, so the merged winner
-    // is the serial winner.
-    if (out.found && (!best.found || out.max_flow > best.max_flow)) {
-      const int64_t num_windows = best.num_windows;
-      const double seconds = best.seconds;
-      best = std::move(out);
-      best.num_windows = num_windows;
-      best.seconds = seconds;
-    }
-  }
+  MaxFlowDpSearcher::Result best = MergeTop1Outputs(&outputs);
   result->stats.num_structural_matches =
       static_cast<int64_t>(matches.size());
   result->stats.num_windows_processed = best.num_windows;
   result->stats.phase2_seconds = best.seconds;
   if (best.found) result->stats.num_instances = 1;
   result->top1 = std::move(best);
+}
+
+QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
+    const Motif& motif, const QueryOptions& options, ThreadPool* pool,
+    const StreamBatchFn& batch_fn) const {
+  const StructuralMatcher matcher(graph_, motif);
+  // P1 shards: contiguous work-unit ranges, several per worker so
+  // dynamic scheduling absorbs the match-density skew across origins.
+  const std::vector<MatchBatch> ranges = PartitionMatches(
+      matcher.NumWorkUnits(), pool->num_threads(), /*batch_size=*/0);
+  StreamStats stats;
+  if (ranges.empty()) return stats;
+  const int64_t batch_cap =
+      options.batch_size > 0 ? options.batch_size : kStreamedBatchCap;
+
+  ShardPrefixMerger merger(static_cast<int64_t>(ranges.size()));
+  // Outstanding P2 batches per shard: the last batch to finish frees
+  // the shard's match buffer, so peak memory tracks the in-flight
+  // window rather than the full match list. Stored before the shard's
+  // batches are submitted (a batch may start on another worker
+  // immediately).
+  std::vector<std::atomic<int64_t>> pending_batches(ranges.size());
+  std::mutex stats_mu;
+
+  // Every task — P1 shard and P2 batch alike — goes through the one
+  // pool's FIFO queue; a shard task that completes the release prefix
+  // submits the P2 batches for every shard it released. Tasks never
+  // block on each other, so the single Wait() below drains the whole
+  // pipeline. All state outlives Wait(), so reference captures are
+  // safe.
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    pool->Submit([&, r] {
+      WallTimer timer;
+      std::vector<MatchBinding> shard;
+      matcher.FindInUnits(ranges[r].begin, ranges[r].end,
+                          [&shard](const MatchBinding& binding) {
+                            shard.push_back(binding);
+                            return true;
+                          });
+      const double p1_seconds = timer.ElapsedSeconds();
+      const std::vector<ShardPrefixMerger::ReleasedShardEntry> released =
+          merger.Complete(static_cast<int64_t>(r), std::move(shard));
+      int64_t new_batches = 0;
+      for (const ShardPrefixMerger::ReleasedShardEntry& entry : released) {
+        const ShardPrefixMerger::ReleasedShard& rs = entry.released;
+        const int64_t n = static_cast<int64_t>(rs.matches->size());
+        const int64_t shard_batches = (n + batch_cap - 1) / batch_cap;
+        if (shard_batches == 0) {
+          merger.FreeShard(entry.shard);
+          continue;
+        }
+        pending_batches[static_cast<size_t>(entry.shard)].store(
+            shard_batches, std::memory_order_relaxed);
+        for (int64_t b = 0; b < n; b += batch_cap) {
+          const int64_t len = std::min(batch_cap, n - b);
+          const MatchBinding* data = rs.matches->data() + b;
+          const int64_t first = rs.first_match_index + b;
+          ++new_batches;
+          // Front-of-queue: P2 batches must run ahead of the still-
+          // queued P1 shard tasks, or FIFO order would finish all of
+          // P1 (every shard buffer live at once) before P2 starts —
+          // the batch/free cadence is what bounds in-flight memory.
+          pool->SubmitFront([&batch_fn, &merger, &pending_batches,
+                             shard_index = entry.shard, data, len, first] {
+            batch_fn(first, data, data + len);
+            // acq_rel orders every batch's reads of the buffer before
+            // the last decrementer's free.
+            if (pending_batches[static_cast<size_t>(shard_index)].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+              merger.FreeShard(shard_index);
+            }
+          });
+        }
+      }
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats.p1_cpu_seconds += p1_seconds;
+      stats.num_batches += new_batches;
+    });
+  }
+  pool->Wait();
+  stats.num_matches = merger.num_released();
+  return stats;
+}
+
+void QueryEngine::RunStreamed(const Motif& motif,
+                              const QueryOptions& options, ThreadPool* pool,
+                              QueryResult* result) const {
+  switch (options.mode) {
+    case QueryMode::kEnumerate: {
+      FLOWMOTIF_CHECK_EQ(options.collect_limit, 0);
+      const FlowMotifEnumerator enumerator(graph_, motif,
+                                           ToEnumerationOptions(options));
+      std::mutex mu;
+      // Counter-only enumeration: integer counters are sums, so merging
+      // in completion order equals the serial merge.
+      const StreamStats stream = StreamTwoPhase(
+          motif, options, pool,
+          [&](int64_t, const MatchBinding* begin, const MatchBinding* end) {
+            const EnumerationResult local =
+                EnumerateRun(enumerator, begin, end, nullptr);
+            std::lock_guard<std::mutex> lock(mu);
+            result->stats.MergeFrom(local);
+          });
+      result->stats.phase1_seconds = stream.p1_cpu_seconds;
+      result->num_batches = stream.num_batches;
+      return;
+    }
+    case QueryMode::kCount: {
+      const InstanceCounter counter(graph_, motif, options.delta,
+                                    options.phi);
+      std::mutex mu;
+      const StreamStats stream = StreamTwoPhase(
+          motif, options, pool,
+          [&](int64_t, const MatchBinding* begin, const MatchBinding* end) {
+            double seconds = 0.0;
+            const InstanceCounter::Result counts =
+                CountRun(counter, begin, end, &seconds);
+            std::lock_guard<std::mutex> lock(mu);
+            AccumulateCounts(counts, seconds, result);
+          });
+      result->stats.phase1_seconds = stream.p1_cpu_seconds;
+      result->num_batches = stream.num_batches;
+      return;
+    }
+    case QueryMode::kTopK: {
+      FLOWMOTIF_CHECK_GE(options.k, 1);
+      SharedFlowThreshold shared(options.k);
+      EnumerationOptions eopts = ToEnumerationOptions(options);
+      eopts.dynamic_min_flow_exclusive = [&shared]() {
+        return shared.ExclusiveBound();
+      };
+      const FlowMotifEnumerator enumerator(graph_, motif, eopts);
+      TopKCollector global(options.k);
+      std::mutex mu;
+      const StreamStats stream = StreamTwoPhase(
+          motif, options, pool,
+          [&](int64_t first, const MatchBinding* begin,
+              const MatchBinding* end) {
+            ProcessTopKRun(enumerator, begin, end, first, options.k,
+                           &shared, &global, &result->stats, &mu);
+          });
+      result->stats.phase1_seconds = stream.p1_cpu_seconds;
+      result->num_batches = stream.num_batches;
+      result->topk = global.Drain();
+      return;
+    }
+    case QueryMode::kTop1: {
+      const MaxFlowDpSearcher searcher(graph_, motif, options.delta);
+      std::mutex mu;
+      std::vector<std::pair<int64_t, MaxFlowDpSearcher::Result>> outputs;
+      const StreamStats stream = StreamTwoPhase(
+          motif, options, pool,
+          [&](int64_t first, const MatchBinding* begin,
+              const MatchBinding* end) {
+            MaxFlowDpSearcher::Result out = searcher.RunOnMatches(begin, end);
+            std::lock_guard<std::mutex> lock(mu);
+            outputs.emplace_back(first, std::move(out));
+          });
+      // Restore serial batch order before folding so the "earliest
+      // match wins flow ties" rule sees batches in match order.
+      std::sort(outputs.begin(), outputs.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<MaxFlowDpSearcher::Result> ordered;
+      ordered.reserve(outputs.size());
+      for (auto& entry : outputs) ordered.push_back(std::move(entry.second));
+      MaxFlowDpSearcher::Result best = MergeTop1Outputs(&ordered);
+      result->stats.num_structural_matches = stream.num_matches;
+      result->stats.num_windows_processed = best.num_windows;
+      result->stats.phase1_seconds = stream.p1_cpu_seconds;
+      result->stats.phase2_seconds = best.seconds;
+      result->num_batches = stream.num_batches;
+      if (best.found) result->stats.num_instances = 1;
+      result->top1 = std::move(best);
+      return;
+    }
+    case QueryMode::kSignificance:
+      FLOWMOTIF_CHECK(false) << "kSignificance does not stream";
+      return;
+  }
 }
 
 void QueryEngine::RunSignificance(const Motif& motif,

@@ -2,6 +2,7 @@
 #define FLOWMOTIF_ENGINE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/dp.h"
@@ -23,13 +24,20 @@ namespace flowmotif {
 struct QueryResult {
   QueryMode mode = QueryMode::kEnumerate;
 
-  /// Unified counters. In parallel runs phase1/phase2_seconds are
-  /// aggregate CPU seconds (see EnumerationResult::MergeFrom);
-  /// wall_seconds below is the end-to-end time. In kTopK mode the
-  /// pruning counters (num_phi_prunes, num_instances surviving the
+  /// Unified counters. Timer semantics differ by execution path:
+  /// phase2_seconds is aggregate CPU seconds across workers in every
+  /// parallel run (see EnumerationResult::MergeFrom); phase1_seconds is
+  /// the wall time of the P1 stage on the barrier path (serial or
+  /// parallel) but aggregate CPU seconds of the P1 shard tasks on the
+  /// streamed path, where the phases overlap and no per-phase wall time
+  /// exists — so do not compare phase1_seconds across paths.
+  /// wall_seconds below is always the end-to-end time. In kTopK mode
+  /// the pruning counters (num_phi_prunes, num_instances surviving the
   /// floating threshold) depend on how fast the threshold tightened and
   /// are the only fields that may differ across thread counts — the
-  /// result entries never do.
+  /// result entries never do. num_batches may also differ between the
+  /// streamed and barrier execution paths (batch boundaries are an
+  /// execution detail).
   EnumerationResult stats;
 
   /// kCount: memoization hits of the counting recursion.
@@ -61,13 +69,19 @@ struct QueryResult {
 /// significance) plus construction-free counting, configured by one
 /// QueryOptions struct.
 ///
-/// Execution is the paper's two-phase algorithm. Phase P1 (structural
-/// matching) runs once on the calling thread; phase P2 is partitioned
-/// into contiguous match batches executed on a worker pool. Every
+/// Execution is the paper's two-phase algorithm, parallel in both
+/// phases. Phase P1 decomposes into StructuralMatcher work units
+/// (origins / first-edge images) whose per-shard match buffers merge in
+/// canonical unit order; phase P2 partitions the match list into
+/// contiguous batches. Both run on one worker pool. When no caller
+/// needs the full match list materialized (kCount, kTopK, kTop1, and
+/// kEnumerate with collect_limit == 0), released P1 shards stream
+/// directly into P2 batches with no barrier between the phases. Every
 /// worker fills thread-local state (an EnumerationResult, a bounded
-/// top-k collector, a DP incumbent) which is merged in deterministic
-/// batch order, so results are byte-identical across thread counts —
-/// the parallel-vs-serial equivalence property test locks this in.
+/// top-k collector, a DP incumbent) which is merged deterministically
+/// (by serial match order where order matters), so results are
+/// byte-identical across thread counts — the parallel-vs-serial
+/// equivalence property test locks this in.
 ///
 /// Thread-compatible: one engine may serve concurrent Run calls, since
 /// all mutable state is per-call.
@@ -90,9 +104,33 @@ class QueryEngine {
   const TimeSeriesGraph& graph() const { return graph_; }
 
  private:
+  /// True when the mode can run with P1 shards streamed straight into
+  /// P2 batches (nothing forces the full match list to exist at once).
+  static bool CanStream(const QueryOptions& options);
+
   QueryResult Dispatch(const Motif& motif,
                        const std::vector<MatchBinding>& matches,
                        const QueryOptions& options, ThreadPool* pool) const;
+
+  /// The streamed two-phase executor: P1 work-unit shard tasks and the
+  /// P2 match-batch tasks they spawn share `pool`; `batch_fn` is
+  /// invoked concurrently for disjoint contiguous match runs, with
+  /// `first_match_index` the serial-order index of `*begin` (the
+  /// DiscoveryRank key).
+  struct StreamStats {
+    double p1_cpu_seconds = 0.0;  // aggregate across P1 shard tasks
+    int64_t num_matches = 0;
+    int64_t num_batches = 0;
+  };
+  using StreamBatchFn = std::function<void(
+      int64_t first_match_index, const MatchBinding* begin,
+      const MatchBinding* end)>;
+  StreamStats StreamTwoPhase(const Motif& motif,
+                             const QueryOptions& options, ThreadPool* pool,
+                             const StreamBatchFn& batch_fn) const;
+
+  void RunStreamed(const Motif& motif, const QueryOptions& options,
+                   ThreadPool* pool, QueryResult* result) const;
 
   void RunEnumerate(const Motif& motif,
                     const std::vector<MatchBinding>& matches,

@@ -57,6 +57,12 @@ bool EdgeSeries::HasElementInOpenClosed(Timestamp lo, Timestamp hi) const {
   return first < size() && times_[first] <= hi;
 }
 
+bool EdgeSeries::HasElementInClosed(Timestamp lo, Timestamp hi) const {
+  if (lo > hi) return false;
+  size_t first = LowerBound(lo);
+  return first < size() && times_[first] <= hi;
+}
+
 void EdgeSeries::ReplaceFlows(const std::vector<Flow>& new_flows) {
   FLOWMOTIF_CHECK_EQ(new_flows.size(), flows_.size());
   for (Flow f : new_flows) FLOWMOTIF_CHECK_GT(f, 0.0);

@@ -58,6 +58,11 @@ class EdgeSeries {
   /// True iff some element has lo < time <= hi.
   bool HasElementInOpenClosed(Timestamp lo, Timestamp hi) const;
 
+  /// True iff some element has lo <= time <= hi. Unlike the open-closed
+  /// variant, `lo` itself counts, so callers probing from the minimum
+  /// representable timestamp need no (underflowing) `lo - 1`.
+  bool HasElementInClosed(Timestamp lo, Timestamp hi) const;
+
   /// Replaces the flow values (used by the significance module's flow
   /// permutation, which keeps structure and timestamps fixed) and rebuilds
   /// the prefix sums. `new_flows.size()` must equal size().

@@ -191,4 +191,18 @@ std::string FlagParser::HelpString() const {
   return os.str();
 }
 
+Status ValidateThreadsFlag(int64_t threads) {
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads), got " +
+        std::to_string(threads));
+  }
+  if (threads > 4096) {
+    return Status::InvalidArgument(
+        "--threads=" + std::to_string(threads) +
+        " is not a plausible thread count (max 4096)");
+  }
+  return Status::OK();
+}
+
 }  // namespace flowmotif

@@ -70,6 +70,13 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Validates a --threads flag value: OK for 0 (= all hardware threads)
+/// through 4096, InvalidArgument with a user-facing message otherwise.
+/// Shared by the CLI and the bench harnesses so operator typos get one
+/// clear rejection instead of reaching ThreadPool's aborting CHECK —
+/// and so the plausibility cap lives in exactly one place.
+Status ValidateThreadsFlag(int64_t threads);
+
 }  // namespace flowmotif
 
 #endif  // FLOWMOTIF_UTIL_FLAGS_H_

@@ -37,6 +37,14 @@ class ThreadPool {
   /// Enqueues one task. Thread-safe.
   void Submit(std::function<void()> task);
 
+  /// Enqueues one task at the *front* of the queue, ahead of all queued
+  /// work. Chained pipeline stages use this so downstream tasks (the
+  /// engine's P2 batches) run before the remaining upstream fan-out
+  /// (queued P1 shards) instead of being starved behind it in FIFO
+  /// order — which is what bounds the pipeline's in-flight buffering.
+  /// With num_threads == 1 it runs inline, exactly like Submit.
+  void SubmitFront(std::function<void()> task);
+
   /// Blocks until every submitted task has finished.
   void Wait();
 

@@ -117,6 +117,17 @@ TEST(FlagsTest, HelpStringListsFlags) {
   EXPECT_NE(help.find("--beta"), std::string::npos);
 }
 
+TEST(FlagsTest, ValidateThreadsFlagBounds) {
+  EXPECT_TRUE(ValidateThreadsFlag(0).ok());  // 0 = all hardware threads
+  EXPECT_TRUE(ValidateThreadsFlag(1).ok());
+  EXPECT_TRUE(ValidateThreadsFlag(4096).ok());
+  EXPECT_FALSE(ValidateThreadsFlag(-1).ok());
+  EXPECT_FALSE(ValidateThreadsFlag(4097).ok());
+  // The message names the flag so CLI/bench rejections read clearly.
+  EXPECT_NE(ValidateThreadsFlag(-2).message().find("--threads"),
+            std::string::npos);
+}
+
 TEST(FlagsDeathTest, UnregisteredAccessAborts) {
   FlagParser flags;
   EXPECT_DEATH(flags.GetInt64("ghost"), "unregistered flag");

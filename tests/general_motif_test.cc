@@ -12,6 +12,7 @@
 #include "core/motif.h"
 #include "core/structural_match.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace flowmotif {
 namespace {
@@ -68,6 +69,57 @@ TEST(GeneralMotifTest, HasCycleOnGeneralShapes) {
       Motif::FromEdgeList({{0, 1}, {1, 2}, {2, 0}, {0, 3}});
   ASSERT_TRUE(looped.ok());
   EXPECT_TRUE(looped->HasCycle());
+}
+
+TEST(GeneralMotifMatchTest, LabelOrderBindingFreshWeakComponent) {
+  // Edge 2>3 is reached while motif nodes 2 and 3 are both unbound: the
+  // label order visits a new weak component before edge 1>2 links it,
+  // which exerces GeneralDfs's pair-table scan branch mid-search (not
+  // just at the first edge).
+  StatusOr<Motif> fresh = Motif::FromEdgeList({{0, 1}, {2, 3}, {1, 2}},
+                                              "FreshComponent");
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_FALSE(fresh->is_path());
+
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0},
+                                 {1, 2, 2, 1.0},
+                                 {2, 3, 3, 1.0},
+                                 {0, 3, 4, 1.0}});
+  StructuralMatcher matcher(g, *fresh);
+  std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  // The only injective binding with all three pair edges present is the
+  // identity: 0->1 (edge 1), 2->3 (edge 2), 1->2 (edge 3).
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (MatchBinding{0, 1, 2, 3}));
+  EXPECT_TRUE(matcher.IsMatch(matches[0]));
+  EXPECT_EQ(matcher.CountMatches(), 1);
+
+  // The per-first-edge work-unit decomposition must reproduce the same
+  // list for the mid-search fresh-component branch too.
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(matcher.FindAllMatchesParallel(&pool), matches)
+        << "threads=" << threads;
+  }
+}
+
+TEST(GeneralMotifMatchTest, FreshComponentScanSkipsBoundVertices) {
+  // Two candidate pairs for the fresh edge 2>3; the one overlapping the
+  // already-bound vertices must be rejected by the injectivity scan.
+  StatusOr<Motif> fresh = Motif::FromEdgeList({{0, 1}, {2, 3}, {1, 2}},
+                                              "FreshComponent");
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  TimeSeriesGraph g = MakeGraph({{0, 1, 1, 1.0},
+                                 {1, 0, 2, 1.0},   // overlaps bound 0,1
+                                 {1, 2, 2, 1.0},
+                                 {2, 3, 3, 1.0},
+                                 {3, 1, 4, 1.0}});
+  StructuralMatcher matcher(g, *fresh);
+  for (const MatchBinding& m : matcher.FindAllMatches()) {
+    std::set<VertexId> distinct(m.begin(), m.end());
+    EXPECT_EQ(distinct.size(), m.size()) << "non-injective binding";
+    EXPECT_TRUE(matcher.IsMatch(m));
+  }
 }
 
 TEST(GeneralMotifMatchTest, FanOutBindsTargetsInjectively) {

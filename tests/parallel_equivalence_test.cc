@@ -1,21 +1,25 @@
-// The engine's central promise: phase-P2 parallelism never changes any
-// result. For random graphs from the gen/ presets and threads in
-// {1, 2, 8}, every mode must produce byte-identical output — the same
-// instance sets, the same deterministic counters, the same top-k
-// entries — with the single documented exception of the top-k pruning
-// counters, which depend on how fast the floating threshold tightened.
+// The engine's central promise: parallelism — in phase P1 (structural
+// matching) and phase P2 alike, including the streamed P1→P2 pipeline —
+// never changes any result. For random graphs from the gen/ presets and
+// threads in {1, 2, 4, 8}, every mode must produce byte-identical
+// output — the same instance sets, the same deterministic counters, the
+// same top-k entries — with the single documented exception of the
+// top-k pruning counters, which depend on how fast the floating
+// threshold tightened.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "core/motif_catalog.h"
+#include "core/structural_match.h"
 #include "engine/query_engine.h"
 #include "gen/presets.h"
+#include "util/thread_pool.h"
 
 namespace flowmotif {
 namespace {
 
-constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
 
 struct Workload {
   TimeSeriesGraph graph;
@@ -34,8 +38,53 @@ std::vector<Workload> Workloads() {
                          preset.default_delta, preset.default_phi});
     workloads.push_back({graph, *MotifCatalog::ByName("M(3,3)"),
                          preset.default_delta, 0.0});
+    // A general (non-path) motif exercises the per-first-edge P1 work
+    // units and the pair-table DFS branch through the whole engine.
+    workloads.push_back({graph, *Motif::Parse("0>1,0>2", "fanout"),
+                         preset.default_delta, 0.0});
   }
   return workloads;
+}
+
+TEST(ParallelEquivalenceTest, P1MatchListIdenticalAcrossThreadCounts) {
+  for (const Workload& w : Workloads()) {
+    const StructuralMatcher matcher(w.graph, w.motif);
+    const std::vector<MatchBinding> serial = matcher.FindAllMatches();
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      ASSERT_EQ(matcher.FindAllMatchesParallel(&pool), serial)
+          << w.motif.name() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, StreamedCountersIdenticalAcrossThreadCounts) {
+  // collect_limit == 0 routes threads > 1 through the streamed P1→P2
+  // pipeline; all deterministic counters must match the serial run.
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kEnumerate;
+    options.delta = w.delta;
+    options.phi = w.phi;
+    options.collect_limit = 0;
+
+    options.num_threads = 1;
+    const QueryResult serial = engine.Run(w.motif, options);
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const QueryResult streamed = engine.Run(w.motif, options);
+      ASSERT_EQ(streamed.stats.num_instances, serial.stats.num_instances)
+          << w.motif.name() << " threads=" << threads;
+      ASSERT_EQ(streamed.stats.num_structural_matches,
+                serial.stats.num_structural_matches);
+      ASSERT_EQ(streamed.stats.num_windows_processed,
+                serial.stats.num_windows_processed);
+      ASSERT_EQ(streamed.stats.num_phi_prunes, serial.stats.num_phi_prunes);
+      ASSERT_EQ(streamed.stats.num_domination_skips,
+                serial.stats.num_domination_skips);
+    }
+  }
 }
 
 TEST(ParallelEquivalenceTest, EnumerateIdenticalAcrossThreadCounts) {

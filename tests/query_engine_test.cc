@@ -210,5 +210,55 @@ TEST(QueryEngineTest, EmptyGraphNoMatches) {
   EXPECT_EQ(result.num_batches, 0);
 }
 
+TEST(QueryEngineTest, ZeroMatchGraphThroughEveryMode) {
+  // A single edge can never back M(3,3): the match list is empty, so
+  // every mode — serial, parallel-barrier, and streamed alike — must
+  // come back clean instead of tripping over zero-size partitions.
+  const TimeSeriesGraph g = testing_util::MakeGraph({{0, 1, 5, 1.0}});
+  const QueryEngine engine(g);
+  for (int threads : {1, 4}) {
+    for (QueryMode mode :
+         {QueryMode::kEnumerate, QueryMode::kCount, QueryMode::kTopK,
+          QueryMode::kTop1, QueryMode::kSignificance}) {
+      QueryOptions options = BaseOptions(mode, 10, 0.0);
+      options.num_threads = threads;
+      options.collect_limit = mode == QueryMode::kEnumerate ? -1 : 0;
+      options.num_random_graphs = 3;
+      const QueryResult result = engine.Run(M33(), options);
+      EXPECT_EQ(result.stats.num_instances, 0)
+          << "mode=" << static_cast<int>(mode) << " threads=" << threads;
+      EXPECT_TRUE(result.instances.empty());
+      EXPECT_TRUE(result.topk.empty());
+      EXPECT_FALSE(result.top1.found);
+      if (mode == QueryMode::kSignificance) {
+        EXPECT_EQ(result.significance.real_count, 0);
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, StreamedEnumerateMatchesBarrierCounters) {
+  // collect_limit == 0 takes the streamed P1→P2 pipeline when threads
+  // > 1; collect_limit == -1 takes the barrier path. Their shared
+  // counters must agree.
+  const TimeSeriesGraph g = testing_util::PaperFig2Graph();
+  const QueryEngine engine(g);
+  QueryOptions barrier = BaseOptions(QueryMode::kEnumerate, 10, 0.0);
+  barrier.num_threads = 4;
+  barrier.collect_limit = -1;
+  const QueryResult from_barrier = engine.Run(M33(), barrier);
+
+  QueryOptions streamed = barrier;
+  streamed.collect_limit = 0;
+  const QueryResult from_stream = engine.Run(M33(), streamed);
+  EXPECT_EQ(from_stream.stats.num_instances,
+            from_barrier.stats.num_instances);
+  EXPECT_EQ(from_stream.stats.num_structural_matches,
+            from_barrier.stats.num_structural_matches);
+  EXPECT_EQ(from_stream.stats.num_windows_processed,
+            from_barrier.stats.num_windows_processed);
+  EXPECT_TRUE(from_stream.instances.empty());
+}
+
 }  // namespace
 }  // namespace flowmotif

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace flowmotif {
@@ -80,6 +81,39 @@ TEST(SlidingWindowTest, ZeroDeltaWindows) {
   std::vector<Window> windows = ComputeProcessedWindows(first, last, 0);
   ASSERT_EQ(windows.size(), 1u);
   EXPECT_EQ(windows[0], (Window{10, 10}));
+}
+
+TEST(SlidingWindowTest, MinimumTimestampAnchorIsProcessed) {
+  // Regression: a first anchor at numeric_limits<Timestamp>::min()
+  // collided with the old "previous anchor" sentinel and was dropped as
+  // a duplicate, and its `anchor - 1` novelty probe underflowed.
+  const Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  EdgeSeries first = Series({kMin});
+  EdgeSeries last = Series({kMin + 5});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (Window{kMin, kMin + 10}));
+}
+
+TEST(SlidingWindowTest, MinimumTimestampAnchorElementCountsForNovelty) {
+  // The last-edge element at exactly the minimum anchor must satisfy
+  // the first window's closed-interval novelty rule (single-edge motif:
+  // first == last).
+  const Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  EdgeSeries series = Series({kMin});
+  std::vector<Window> windows = ComputeProcessedWindows(series, series, 0);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (Window{kMin, kMin}));
+}
+
+TEST(SlidingWindowTest, MinimumTimestampDuplicateAnchorsProduceOneWindow) {
+  const Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  EdgeSeries first = Series({kMin, kMin, kMin + 3});
+  EdgeSeries last = Series({kMin + 1, kMin + 12});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (Window{kMin, kMin + 10}));
+  EXPECT_EQ(windows[1], (Window{kMin + 3, kMin + 13}));
 }
 
 TEST(SlidingWindowTest, WindowsAreOrderedAndNonRedundant) {

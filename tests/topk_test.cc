@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/motif.h"
@@ -109,6 +113,77 @@ TEST(TopKTest, StatsExposeUnderlyingEnumeration) {
   TopKSearcher::Result result = searcher.Run();
   EXPECT_GT(result.stats.num_structural_matches, 0);
   EXPECT_GT(result.stats.num_windows_processed, 0);
+}
+
+TEST(SharedFlowThresholdTest, ObserveRaisesAtKthObservedFlow) {
+  SharedFlowThreshold shared(3);
+  EXPECT_EQ(shared.ExclusiveBound(), 0.0);
+  shared.Observe(5.0);
+  shared.Observe(7.0);
+  // Fewer than k flows known: no sound bound yet.
+  EXPECT_EQ(shared.ExclusiveBound(), 0.0);
+  shared.Observe(6.0);
+  // k = 3 flows observed: bound admits flows equal to the k-th best (5).
+  EXPECT_DOUBLE_EQ(
+      shared.ExclusiveBound(),
+      std::nextafter(5.0, -std::numeric_limits<Flow>::infinity()));
+  // A better flow evicts 5 from the k best: the k-th best is now 6.
+  shared.Observe(10.0);
+  EXPECT_DOUBLE_EQ(
+      shared.ExclusiveBound(),
+      std::nextafter(6.0, -std::numeric_limits<Flow>::infinity()));
+  // Flows at or below the k-th best change nothing.
+  shared.Observe(1.0);
+  shared.Observe(6.0);
+  EXPECT_DOUBLE_EQ(
+      shared.ExclusiveBound(),
+      std::nextafter(6.0, -std::numeric_limits<Flow>::infinity()));
+}
+
+TEST(SharedFlowThresholdTest, ObserveAndCertificatesCompose) {
+  // An external RaiseToKthBest certificate above the observed k-th best
+  // must win, and later observations must never lower it.
+  SharedFlowThreshold shared(2);
+  shared.Observe(1.0);
+  shared.Observe(2.0);
+  shared.RaiseToKthBest(8.0);
+  const Flow raised = shared.ExclusiveBound();
+  EXPECT_DOUBLE_EQ(
+      raised, std::nextafter(8.0, -std::numeric_limits<Flow>::infinity()));
+  shared.Observe(3.0);
+  EXPECT_DOUBLE_EQ(shared.ExclusiveBound(), raised);
+}
+
+TEST(SharedFlowThresholdTest, ConcurrentObserversKeepBoundMonotone) {
+  // Regression for the acquire/release audit: under concurrent raises a
+  // reader must never see the bound move backwards, and the final bound
+  // must be exactly the k-th best of everything observed.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  constexpr int64_t kK = 16;
+  SharedFlowThreshold shared(kK);
+  std::vector<std::thread> threads;
+  std::atomic<bool> monotone{true};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([w, &shared, &monotone] {
+      Flow last_seen = 0.0;
+      for (int i = 1; i <= kPerWriter; ++i) {
+        shared.Observe(static_cast<Flow>(w + kWriters * i));
+        const Flow bound = shared.ExclusiveBound();
+        if (bound < last_seen) monotone = false;
+        last_seen = bound;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(monotone.load());
+  // Global flows are {kWriters .. kWriters*kPerWriter + kWriters - 1},
+  // each exactly once; the k-th best is max - (k - 1).
+  const Flow kth_best =
+      static_cast<Flow>(kWriters * kPerWriter + kWriters - 1 - (kK - 1));
+  EXPECT_DOUBLE_EQ(
+      shared.ExclusiveBound(),
+      std::nextafter(kth_best, -std::numeric_limits<Flow>::infinity()));
 }
 
 TEST(TopKDeathTest, KMustBePositive) {
