@@ -8,102 +8,233 @@
 
 namespace flowmotif {
 
+namespace {
+
+/// True iff some motif node is absent from the endpoints of the first
+/// and last motif edges. Only then can two distinct bindings share the
+/// same (first, last) series pair — otherwise the two series pointers
+/// pin every bound vertex and the window memo could never hit.
+bool HasInteriorNode(const Motif& motif) {
+  const auto [f_src, f_dst] = motif.edge(0);
+  const auto [l_src, l_dst] = motif.edge(motif.num_edges() - 1);
+  for (int node = 0; node < motif.num_nodes(); ++node) {
+    if (node != f_src && node != f_dst && node != l_src && node != l_dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Window-memo entry cap: matches sharing a (first, last) pair arrive
+/// in runs (the P1 DFS varies interior vertices innermost), so clearing
+/// a full memo keeps the hit rate while bounding retained window lists
+/// — without a cap, a kTop1 query over millions of matches would hold
+/// every match's windows until the query ends.
+constexpr size_t kWindowCacheMaxEntries = 1024;
+
+}  // namespace
+
 MaxFlowDpSearcher::MaxFlowDpSearcher(const TimeSeriesGraph& graph,
                                      const Motif& motif, Timestamp delta)
-    : graph_(graph), motif_(motif), delta_(delta) {
+    : graph_(graph),
+      motif_(motif),
+      delta_(delta),
+      memoize_windows_(HasInteriorNode(motif)) {
   FLOWMOTIF_CHECK_GE(delta, 0);
 }
 
-std::vector<const EdgeSeries*> MaxFlowDpSearcher::ResolveSeries(
-    const MatchBinding& binding) const {
-  std::vector<const EdgeSeries*> series(
-      static_cast<size_t>(motif_.num_edges()));
-  for (int i = 0; i < motif_.num_edges(); ++i) {
-    const auto [src, dst] = motif_.edge(i);
+void MaxFlowDpSearcher::CheckScratch(Scratch* scratch) const {
+  if (scratch->bound_graph == nullptr) {
+    scratch->bound_graph = &graph_;
+    scratch->bound_delta = delta_;
+    return;
+  }
+  // The window memo keys on EdgeSeries pointers and caches
+  // delta-dependent window lists; reuse across another graph or delta
+  // would silently return wrong windows.
+  FLOWMOTIF_CHECK(scratch->bound_graph == &graph_ &&
+                  scratch->bound_delta == delta_)
+      << "DP Scratch reused across a different graph or delta";
+}
+
+const std::vector<Window>& MaxFlowDpSearcher::BeginMatch(
+    const MatchBinding& binding, Scratch* scratch) const {
+  const size_t m = static_cast<size_t>(motif_.num_edges());
+  std::vector<const EdgeSeries*>& series = scratch->series;
+  series.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const auto [src, dst] = motif_.edge(static_cast<int>(i));
     const EdgeSeries* s = graph_.FindSeries(binding[static_cast<size_t>(src)],
                                             binding[static_cast<size_t>(dst)]);
     FLOWMOTIF_CHECK(s != nullptr)
         << "binding is not a structural match of " << motif_.name();
-    series[static_cast<size_t>(i)] = s;
+    series[i] = s;
   }
-  return series;
+
+  // Window cursors restart from the series fronts for every match; they
+  // only ever move forward within one match's window sweep.
+  scratch->lo.assign(m, 0);
+  scratch->hi.assign(m, 0);
+
+  if (!memoize_windows_) {
+    ComputeProcessedWindows(*series.front(), *series.back(), delta_,
+                            &scratch->windows);
+    return scratch->windows;
+  }
+  if (scratch->window_cache.size() >= kWindowCacheMaxEntries &&
+      scratch->window_cache.find(std::make_pair(series.front(),
+                                                series.back())) ==
+          scratch->window_cache.end()) {
+    scratch->window_cache.clear();
+  }
+  auto [it, inserted] = scratch->window_cache.try_emplace(
+      std::make_pair(series.front(), series.back()));
+  if (inserted) {
+    it->second =
+        ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+  }
+  return it->second;
 }
 
-Flow MaxFlowDpSearcher::DpOverWindow(
-    const std::vector<const EdgeSeries*>& series, const MatchBinding& binding,
-    const Window& window, Scratch* scratch, Result* result) const {
+Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
+                                     const Window& window, Scratch* scratch,
+                                     Result* result) const {
+  const size_t m = static_cast<size_t>(motif_.num_edges());
+  const std::vector<const EdgeSeries*>& series = scratch->series;
+
+  // Slide the per-series cursors to this window: lo = LowerBound(start),
+  // hi = UpperBound(end). Window starts and ends are non-decreasing
+  // across a match (anchors are the sorted first-series timestamps), so
+  // the galloping advances cost O(log gap) in the distance moved —
+  // near-constant for overlapping consecutive windows, never worse than
+  // a binary search for a first window deep into the series.
+  for (size_t k = 0; k < m; ++k) {
+    scratch->lo[k] = series[k]->AdvanceLowerBound(scratch->lo[k],
+                                                  window.start);
+    scratch->hi[k] = series[k]->AdvanceUpperBound(scratch->hi[k],
+                                                  window.end);
+  }
+
   // Admissible window bound: no instance can beat the minimum over motif
-  // edges of the edge's total flow inside the window. Once a good
-  // incumbent exists, most windows are skipped without running the DP.
+  // edges of the edge's total flow inside the window — an O(1)
+  // prefix-sum subtraction on the cursor range. Once a good incumbent
+  // exists, most windows are skipped without running the DP.
   {
     Flow bound = std::numeric_limits<Flow>::infinity();
-    for (const EdgeSeries* s : series) {
-      bound = std::min(bound, s->FlowInClosed(window.start, window.end));
+    for (size_t k = 0; k < m; ++k) {
+      bound = std::min(bound, series[k]->FlowInIndexRange(scratch->lo[k],
+                                                          scratch->hi[k]));
     }
     if (bound <= result->max_flow) return 0.0;
   }
 
-  // Union timeline t1..t_tau: every timestamp in the window carrying an
-  // interaction on any edge of this match.
+  // Union timeline t1..t_tau: a k-way merge of the per-series sorted
+  // slices [lo, hi) into the reusable buffer (replaces push-all +
+  // std::sort + std::unique). The motif has a handful of edges, so the
+  // linear min-scan beats a heap.
   std::vector<Timestamp>& timeline = scratch->timeline;
   timeline.clear();
-  for (const EdgeSeries* s : series) {
-    const size_t first = s->LowerBound(window.start);
-    const size_t limit = s->UpperBound(window.end);
-    for (size_t i = first; i < limit; ++i) timeline.push_back(s->time(i));
+  std::vector<size_t>& head = scratch->merge_pos;
+  head.assign(scratch->lo.begin(), scratch->lo.end());
+  while (true) {
+    Timestamp next = 0;
+    bool any = false;
+    for (size_t k = 0; k < m; ++k) {
+      if (head[k] >= scratch->hi[k]) continue;
+      const Timestamp t = series[k]->time(head[k]);
+      if (!any || t < next) {
+        next = t;
+        any = true;
+      }
+    }
+    if (!any) break;
+    timeline.push_back(next);
+    for (size_t k = 0; k < m; ++k) {
+      while (head[k] < scratch->hi[k] && series[k]->time(head[k]) == next) {
+        ++head[k];
+      }
+    }
   }
-  std::sort(timeline.begin(), timeline.end());
-  timeline.erase(std::unique(timeline.begin(), timeline.end()),
-                 timeline.end());
   const size_t tau = timeline.size();
   if (tau == 0) return 0.0;
 
-  const int m = motif_.num_edges();
-
-  // Flow([t1, t_i], k) as rows over i; `choice[k][i]` records the argmax
-  // split j of Eq. 2 for the traceback (0 means "none/invalid"). A flow
-  // of 0 marks an invalid state: all real flows are positive.
-  auto& flow_table = scratch->flow_table;
-  auto& choice = scratch->choice;
-  flow_table.resize(static_cast<size_t>(m));
-  choice.resize(static_cast<size_t>(m));
-  for (int k = 0; k < m; ++k) {
-    flow_table[static_cast<size_t>(k)].assign(tau, 0.0);
-    choice[static_cast<size_t>(k)].assign(tau, 0);
+  // Per-series timeline offsets: lower_idx[k*tau+i] / upper_idx[k*tau+i]
+  // are series k's LowerBound / UpperBound of timeline[i]. One monotone
+  // two-cursor sweep per row — every flow([tj,ti],k) inside the DP below
+  // is then a genuine O(1) prefix-sum subtraction. The sweeps may clamp
+  // at [lo, hi]: timeline entries lie inside [start, end], so the global
+  // bounds can never fall outside the cursor range.
+  std::vector<size_t>& lower_idx = scratch->lower_idx;
+  std::vector<size_t>& upper_idx = scratch->upper_idx;
+  lower_idx.resize(m * tau);
+  upper_idx.resize(m * tau);
+  for (size_t k = 0; k < m; ++k) {
+    const std::vector<Timestamp>& times = series[k]->times();
+    const size_t series_end = scratch->hi[k];
+    size_t lower = scratch->lo[k];
+    size_t upper = scratch->lo[k];
+    size_t* lower_row = lower_idx.data() + k * tau;
+    size_t* upper_row = upper_idx.data() + k * tau;
+    for (size_t i = 0; i < tau; ++i) {
+      const Timestamp t = timeline[i];
+      while (lower < series_end && times[lower] < t) ++lower;
+      lower_row[i] = lower;
+      if (upper < lower) upper = lower;
+      while (upper < series_end && times[upper] <= t) ++upper;
+      upper_row[i] = upper;
+    }
   }
 
-  for (size_t i = 0; i < tau; ++i) {
-    flow_table[0][i] = series[0]->FlowInClosed(timeline[0], timeline[i]);
+  // Flow([t1, t_i], k) as rows of one flat m x tau table (row stride
+  // tau); `choice` records the argmax split j of Eq. 2 for the traceback
+  // (0 means "none/invalid"). A flow of 0 marks an invalid state: all
+  // real flows are positive.
+  std::vector<Flow>& flow_table = scratch->flow_table;
+  std::vector<size_t>& choice = scratch->choice;
+  flow_table.assign(m * tau, 0.0);
+  choice.assign(m * tau, 0);
+
+  {
+    const EdgeSeries& s0 = *series[0];
+    const size_t first0 = lower_idx[0];  // LowerBound of t1 in R(e1)
+    const size_t* upper_row = upper_idx.data();
+    Flow* row = flow_table.data();
+    for (size_t i = 0; i < tau; ++i) {
+      row[i] = s0.FlowInIndexRange(first0, upper_row[i]);
+    }
   }
-  for (int k = 1; k < m; ++k) {
-    const EdgeSeries& sk = *series[static_cast<size_t>(k)];
-    const auto& prev_row = flow_table[static_cast<size_t>(k) - 1];
-    auto& row = flow_table[static_cast<size_t>(k)];
-    auto& row_choice = choice[static_cast<size_t>(k)];
+  for (size_t k = 1; k < m; ++k) {
+    const EdgeSeries& sk = *series[k];
+    const Flow* prev_row = flow_table.data() + (k - 1) * tau;
+    Flow* row = flow_table.data() + k * tau;
+    size_t* row_choice = choice.data() + k * tau;
+    const size_t* lower_row = lower_idx.data() + k * tau;
+    const size_t* upper_row = upper_idx.data() + k * tau;
     for (size_t i = 1; i < tau; ++i) {
+      const size_t upper_i = upper_row[i];
       // Eq. 2 is max_j min(L(j), R(j)) where L(j) = Flow([t1,t_{j-1}],k-1)
       // is non-decreasing in j (larger window, more options) and
       // R(j) = flow([tj,ti],k) is non-increasing (smaller interval). The
       // maximum therefore sits at the crossing, found by binary search —
-      // O(log tau) per cell instead of the naive O(tau) scan.
-      size_t lo = 1;
-      size_t hi = i;
-      while (lo < hi) {
-        const size_t mid = (lo + hi) / 2;
+      // O(log tau) O(1)-probes per cell instead of the naive O(tau) scan.
+      size_t lo_j = 1;
+      size_t hi_j = i;
+      while (lo_j < hi_j) {
+        const size_t mid = (lo_j + hi_j) / 2;
         if (prev_row[mid - 1] >=
-            sk.FlowInClosed(timeline[mid], timeline[i])) {
-          hi = mid;
+            sk.FlowInIndexRange(lower_row[mid], upper_i)) {
+          hi_j = mid;
         } else {
-          lo = mid + 1;
+          lo_j = mid + 1;
         }
       }
       Flow best = 0.0;
       size_t best_j = 0;
-      for (size_t j : {lo, lo - 1}) {
+      for (size_t j : {lo_j, lo_j - 1}) {
         if (j < 1 || j > i) continue;
         const Flow value =
             std::min(prev_row[j - 1],
-                     sk.FlowInClosed(timeline[j], timeline[i]));
+                     sk.FlowInIndexRange(lower_row[j], upper_i));
         if (value > best) {
           best = value;
           best_j = j;
@@ -114,32 +245,33 @@ Flow MaxFlowDpSearcher::DpOverWindow(
     }
   }
 
-  const Flow window_best = flow_table[static_cast<size_t>(m) - 1][tau - 1];
+  const Flow window_best = flow_table[(m - 1) * tau + (tau - 1)];
   if (window_best <= 0.0 || window_best <= result->max_flow) {
     return window_best;
   }
 
   // New global best: reconstruct the argmax instance by walking the
-  // recorded splits backwards (Table 2's bold cells).
+  // recorded splits backwards (Table 2's bold cells). The offset rows
+  // already hold every series bound the traceback needs.
   MotifInstance instance;
   instance.binding = binding;
-  instance.edge_sets.assign(static_cast<size_t>(m), {});
+  instance.edge_sets.assign(m, {});
   size_t i = tau - 1;
-  for (int k = m - 1; k >= 1; --k) {
-    const size_t j = choice[static_cast<size_t>(k)][i];
+  for (size_t k = m - 1; k >= 1; --k) {
+    const size_t j = choice[k * tau + i];
     FLOWMOTIF_CHECK_GT(j, 0u);
-    const EdgeSeries& sk = *series[static_cast<size_t>(k)];
-    auto& set = instance.edge_sets[static_cast<size_t>(k)];
-    const size_t first = sk.LowerBound(timeline[j]);
-    const size_t limit = sk.UpperBound(timeline[i]);
+    const EdgeSeries& sk = *series[k];
+    auto& set = instance.edge_sets[k];
+    const size_t first = lower_idx[k * tau + j];
+    const size_t limit = upper_idx[k * tau + i];
     for (size_t idx = first; idx < limit; ++idx) set.push_back(sk.at(idx));
     i = j - 1;
   }
   {
     const EdgeSeries& s0 = *series[0];
     auto& set = instance.edge_sets[0];
-    const size_t first = s0.LowerBound(timeline[0]);
-    const size_t limit = s0.UpperBound(timeline[i]);
+    const size_t first = lower_idx[0];
+    const size_t limit = upper_idx[i];
     for (size_t idx = first; idx < limit; ++idx) set.push_back(s0.at(idx));
   }
 
@@ -155,13 +287,12 @@ MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatch(
     const MatchBinding& binding) const {
   Result result;
   WallTimer timer;
-  const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
-  const std::vector<Window> windows =
-      ComputeProcessedWindows(*series.front(), *series.back(), delta_);
-  result.num_windows = static_cast<int64_t>(windows.size());
   Scratch scratch;
+  CheckScratch(&scratch);
+  const std::vector<Window>& windows = BeginMatch(binding, &scratch);
+  result.num_windows = static_cast<int64_t>(windows.size());
   for (const Window& window : windows) {
-    DpOverWindow(series, binding, window, &scratch, &result);
+    DpOverWindow(binding, window, &scratch, &result);
   }
   result.seconds = timer.ElapsedSeconds();
   return result;
@@ -174,16 +305,21 @@ MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
 
 MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
     const MatchBinding* begin, const MatchBinding* end) const {
+  Scratch scratch;
+  return RunOnMatches(begin, end, &scratch);
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
+    const MatchBinding* begin, const MatchBinding* end,
+    Scratch* scratch) const {
   Result result;
   WallTimer timer;
-  Scratch scratch;
+  CheckScratch(scratch);
   for (const MatchBinding* binding = begin; binding != end; ++binding) {
-    const std::vector<const EdgeSeries*> series = ResolveSeries(*binding);
-    const std::vector<Window> windows =
-        ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+    const std::vector<Window>& windows = BeginMatch(*binding, scratch);
     result.num_windows += static_cast<int64_t>(windows.size());
     for (const Window& window : windows) {
-      DpOverWindow(series, *binding, window, &scratch, &result);
+      DpOverWindow(*binding, window, scratch, &result);
     }
   }
   result.seconds = timer.ElapsedSeconds();
@@ -197,17 +333,15 @@ MaxFlowDpSearcher::Result MaxFlowDpSearcher::Run() const {
 
 std::vector<MaxFlowDpSearcher::WindowBest> MaxFlowDpSearcher::RunPerWindow(
     const MatchBinding& binding) const {
-  const std::vector<const EdgeSeries*> series = ResolveSeries(binding);
-  const std::vector<Window> windows =
-      ComputeProcessedWindows(*series.front(), *series.back(), delta_);
+  Scratch scratch;
+  CheckScratch(&scratch);
+  const std::vector<Window>& windows = BeginMatch(binding, &scratch);
   std::vector<WindowBest> bests;
   bests.reserve(windows.size());
-  Scratch scratch;
   for (const Window& window : windows) {
     // A throwaway result isolates each window's optimum.
     Result window_result;
-    const Flow flow =
-        DpOverWindow(series, binding, window, &scratch, &window_result);
+    const Flow flow = DpOverWindow(binding, window, &scratch, &window_result);
     bests.push_back(WindowBest{window, flow > 0.0, flow});
   }
   return bests;

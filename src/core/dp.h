@@ -1,6 +1,7 @@
 #ifndef FLOWMOTIF_CORE_DP_H_
 #define FLOWMOTIF_CORE_DP_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "core/instance.h"
@@ -19,10 +20,20 @@ namespace flowmotif {
 ///                                      flow([tj,ti],k))          (Eq. 2)
 ///
 /// where flow([tj,ti],k) is the aggregated flow of the k-th edge's
-/// elements inside [tj,ti] — an O(1) prefix-sum lookup here. The final
-/// Flow([t1,t_tau],m) is the best instance flow in the window; maximizing
-/// over windows and matches yields the global top-1. A traceback
-/// reconstructs the argmax instance (the bold cells of Table 2).
+/// elements inside [tj,ti] — a genuine O(1) prefix-sum subtraction here:
+/// the per-window setup precomputes, for every motif edge and every
+/// timeline entry, the series index bounds of that timestamp, so no DP
+/// lookup ever binary-searches. The final Flow([t1,t_tau],m) is the best
+/// instance flow in the window; maximizing over windows and matches
+/// yields the global top-1. A traceback reconstructs the argmax instance
+/// (the bold cells of Table 2).
+///
+/// Window processing is *incremental*: windows of a match are anchored
+/// on the sorted first-series timestamps, so every per-series bound
+/// (admissible range, timeline slice) is monotone as windows advance.
+/// Per-match cursors slide forward instead of re-running binary
+/// searches, and the union timeline is rebuilt by a k-way merge of the
+/// advancing slices into one reusable buffer.
 class MaxFlowDpSearcher {
  public:
   struct Result {
@@ -44,6 +55,71 @@ class MaxFlowDpSearcher {
     Flow max_flow = 0.0;
   };
 
+  /// Reusable cross-match state. The DP runs once per window and would
+  /// otherwise spend most of its time reallocating the timeline, the
+  /// offset maps, and the table rows; callers that process many batches
+  /// (the engine) hand the same Scratch to successive RunOnMatches calls
+  /// so the buffers and the window memo survive batch boundaries.
+  ///
+  /// A Scratch is bound to one (graph, delta) configuration on first use
+  /// — the window memo keys on EdgeSeries pointers, which are only
+  /// meaningful for one graph — and checked on every run. Scratch reuse
+  /// never changes results: all per-window state is fully overwritten.
+  struct Scratch {
+    // Per-match series resolution (ResolveSeries target, one motif edge
+    // per entry).
+    std::vector<const EdgeSeries*> series;
+
+    // Sliding cursors, one per motif edge: lo = LowerBound(window.start),
+    // hi = UpperBound(window.end) of the current window. Invariants:
+    // both are non-decreasing across a match's windows (starts and ends
+    // are sorted), and lo <= hi for every window.
+    std::vector<size_t> lo;
+    std::vector<size_t> hi;
+    std::vector<size_t> merge_pos;  // k-way merge heads
+
+    // Union timeline of the current window (t1..t_tau).
+    std::vector<Timestamp> timeline;
+
+    // Flat m x tau maps, row stride tau: lower_idx[k*tau+i] /
+    // upper_idx[k*tau+i] are series k's LowerBound / UpperBound of
+    // timeline[i], filled by one monotone sweep per row. They turn every
+    // flow([tj,ti],k) of Eq. 2 into
+    // FlowInIndexRange(lower_idx[k,j], upper_idx[k,i]).
+    std::vector<size_t> lower_idx;
+    std::vector<size_t> upper_idx;
+
+    // Flat m x tau DP tables, row stride tau (single allocation instead
+    // of vector-of-vectors).
+    std::vector<Flow> flow_table;
+    std::vector<size_t> choice;
+
+    // Per-match window list when the memo below is disabled.
+    std::vector<Window> windows;
+
+    // ComputeProcessedWindows memo across matches sharing the same
+    // (first, last) EdgeSeries pair. Only populated for motifs with an
+    // interior node (one absent from the first and last edges'
+    // endpoints): without one, the two series pin the whole binding and
+    // the memo could never hit. Size-capped — see BeginMatch.
+    struct SeriesPairHash {
+      size_t operator()(
+          const std::pair<const EdgeSeries*, const EdgeSeries*>& p) const {
+        const size_t h = std::hash<const void*>()(p.first);
+        return h ^ (std::hash<const void*>()(p.second) + 0x9e3779b9u +
+                    (h << 6) + (h >> 2));
+      }
+    };
+    std::unordered_map<std::pair<const EdgeSeries*, const EdgeSeries*>,
+                       std::vector<Window>, SeriesPairHash>
+        window_cache;
+
+    // First-use binding (graph + delta) guarding against accidental
+    // reuse across incompatible searchers.
+    const TimeSeriesGraph* bound_graph = nullptr;
+    Timestamp bound_delta = 0;
+  };
+
   MaxFlowDpSearcher(const TimeSeriesGraph& graph, const Motif& motif,
                     Timestamp delta);
   // The searcher keeps a reference to the graph: temporaries would dangle.
@@ -63,6 +139,12 @@ class MaxFlowDpSearcher {
   Result RunOnMatches(const MatchBinding* begin,
                       const MatchBinding* end) const;
 
+  /// Same with caller-owned Scratch: successive calls (the engine's P2
+  /// batches) reuse the buffers and the window memo. The Scratch must
+  /// only ever be used with searchers on the same graph and delta.
+  Result RunOnMatches(const MatchBinding* begin, const MatchBinding* end,
+                      Scratch* scratch) const;
+
   /// Top-1 within a single structural match.
   Result RunOnMatch(const MatchBinding& binding) const;
 
@@ -70,28 +152,28 @@ class MaxFlowDpSearcher {
   std::vector<WindowBest> RunPerWindow(const MatchBinding& binding) const;
 
  private:
-  /// Reusable per-run buffers: the DP runs once per window and would
-  /// otherwise spend most of its time reallocating the timeline and the
-  /// table rows.
-  struct Scratch {
-    std::vector<Timestamp> timeline;
-    std::vector<std::vector<Flow>> flow_table;
-    std::vector<std::vector<size_t>> choice;
-  };
-
-  /// Runs the DP for one window of one match; updates `result` if a
-  /// better instance is found. Returns the window's best flow (0 if no
-  /// valid instance).
-  Flow DpOverWindow(const std::vector<const EdgeSeries*>& series,
-                    const MatchBinding& binding, const Window& window,
+  /// Runs the DP for one window of one match, using the cursors and
+  /// buffers in `scratch` (BeginMatch must have run for this match);
+  /// updates `result` if a better instance is found. Returns the
+  /// window's best flow (0 if no valid instance).
+  Flow DpOverWindow(const MatchBinding& binding, const Window& window,
                     Scratch* scratch, Result* result) const;
 
-  std::vector<const EdgeSeries*> ResolveSeries(
-      const MatchBinding& binding) const;
+  /// Resolves the match's per-edge series into scratch->series, resets
+  /// the window cursors, and returns the memoized processed-window list.
+  const std::vector<Window>& BeginMatch(const MatchBinding& binding,
+                                        Scratch* scratch) const;
+
+  /// Binds `scratch` to this searcher's (graph, delta) or checks the
+  /// existing binding.
+  void CheckScratch(Scratch* scratch) const;
 
   const TimeSeriesGraph& graph_;
   const Motif motif_;
   Timestamp delta_;
+  // Whether the motif has an interior node, i.e. whether the window
+  // memo can ever hit (see Scratch::window_cache).
+  bool memoize_windows_;
 };
 
 }  // namespace flowmotif

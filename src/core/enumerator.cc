@@ -34,6 +34,23 @@ struct FlowMotifEnumerator::Context {
   EnumerationResult* result = nullptr;
   bool stop = false;
   bool window_is_redundant = false;  // ablation_no_window_skip bookkeeping
+
+  // Per-window series bounds, precomputed once per window instead of one
+  // UpperBound per Recurse call: level_limit[k] = UpperBound(window.end)
+  // on the k-th edge's series, level0_first = LowerBound(window.start) on
+  // the first. Window starts/ends are non-decreasing across a match, so
+  // AdvanceToWindow slides monotone galloping cursors (O(log gap) per
+  // window).
+  std::vector<size_t> level_limit;
+  size_t level0_first = 0;
+
+  void AdvanceToWindow(const Window& w) {
+    window = w;
+    level0_first = series[0]->AdvanceLowerBound(level0_first, w.start);
+    for (size_t k = 0; k < series.size(); ++k) {
+      level_limit[k] = series[k]->AdvanceUpperBound(level_limit[k], w.end);
+    }
+  }
 };
 
 FlowMotifEnumerator::FlowMotifEnumerator(const TimeSeriesGraph& graph,
@@ -87,10 +104,12 @@ void FlowMotifEnumerator::Recurse(Context* ctx, int level,
   const EdgeSeries& series = *ctx->series[static_cast<size_t>(level)];
   // Edge-set candidates for this level: the run of elements strictly
   // after the previous level's split (or from the window anchor for e1),
-  // capped by the window end.
-  const size_t first = level == 0 ? series.LowerBound(ctx->window.start)
+  // capped by the window end. The window-dependent bounds come from the
+  // per-window cursors in the context; only the split-dependent lower
+  // bound still needs a search.
+  const size_t first = level == 0 ? ctx->level0_first
                                   : series.UpperBound(lo);
-  const size_t limit = series.UpperBound(ctx->window.end);
+  const size_t limit = ctx->level_limit[static_cast<size_t>(level)];
   if (first >= limit) return;
 
   const int m = motif_.num_edges();
@@ -157,6 +176,7 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
     ctx.series[static_cast<size_t>(i)] = series;
   }
   ctx.slices.resize(static_cast<size_t>(m));
+  ctx.level_limit.assign(static_cast<size_t>(m), 0);
   ctx.binding = &binding;
   ctx.visitor = &visitor;
   ctx.result = result;
@@ -178,7 +198,7 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
       }
       ctx.window_is_redundant =
           kept_cursor >= kept.size() || !(kept[kept_cursor] == window);
-      ctx.window = window;
+      ctx.AdvanceToWindow(window);
       ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();
       Recurse(&ctx, 0, window.start);
     }
@@ -188,7 +208,7 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
   result->num_windows_processed += static_cast<int64_t>(windows.size());
   for (const Window& window : windows) {
     if (ctx.stop) break;
-    ctx.window = window;
+    ctx.AdvanceToWindow(window);
     ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();
     Recurse(&ctx, 0, window.start);
   }

@@ -1,11 +1,37 @@
 #include "core/sliding_window.h"
 
+#include <limits>
+
 namespace flowmotif {
+
+namespace {
+
+/// anchor + delta, saturating at the maximum representable timestamp:
+/// an anchor near numeric_limits::max() with delta > 0 would otherwise
+/// be signed-overflow UB (the mirror of the min-sentinel underflow
+/// fixed in PR 2). Saturation keeps the semantics — a window clamped at
+/// the time axis's end simply cannot gain later elements.
+Timestamp WindowEnd(Timestamp anchor, Timestamp delta) {
+  return delta > 0 &&
+                 anchor > std::numeric_limits<Timestamp>::max() - delta
+             ? std::numeric_limits<Timestamp>::max()
+             : anchor + delta;
+}
+
+}  // namespace
 
 std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
                                             const EdgeSeries& last,
                                             Timestamp delta) {
   std::vector<Window> windows;
+  ComputeProcessedWindows(first, last, delta, &windows);
+  return windows;
+}
+
+void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
+                             Timestamp delta, std::vector<Window>* out) {
+  std::vector<Window>& windows = *out;
+  windows.clear();
   // "No window processed yet" is tracked explicitly: encoding it as
   // numeric_limits::min() sentinels collided with a legal first anchor
   // at exactly that timestamp, which was then dropped as a "duplicate"
@@ -14,26 +40,36 @@ std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
   Timestamp prev_end = 0;
   Timestamp prev_anchor = 0;
 
+  // One monotone cursor into R(em) replaces the per-anchor binary
+  // search: before the first processed window it trails the anchor (the
+  // novelty rule reduces to "any element in [anchor, end]"), afterwards
+  // it sits at the first element past the previous processed end ("any
+  // element in (prev_end, end]"). Anchors and window ends are both
+  // non-decreasing, and prev_end >= the anchor that set it, so the
+  // cursor never moves backwards when the rule switches — the whole
+  // scan is O(|R(e1)| + |R(em)|).
+  size_t cursor = 0;
+
   for (size_t i = 0; i < first.size(); ++i) {
     const Timestamp anchor = first.time(i);
     if (have_processed && anchor == prev_anchor) {
       continue;  // duplicate anchor timestamp
     }
-    const Timestamp end = anchor + delta;
-    // Novelty rule: the window must contain an R(em) element later than
-    // the previous processed window's end. For the first window this
-    // reduces to "contains any R(em) element within [anchor, end]" —
-    // queried closed so the minimum anchor needs no `anchor - 1`.
-    const bool has_new = have_processed
-                             ? last.HasElementInOpenClosed(prev_end, end)
-                             : last.HasElementInClosed(anchor, end);
-    if (!has_new) continue;
+    const Timestamp end = WindowEnd(anchor, delta);
+    if (have_processed) {
+      while (cursor < last.size() && last.time(cursor) <= prev_end) ++cursor;
+    } else {
+      while (cursor < last.size() && last.time(cursor) < anchor) ++cursor;
+    }
+    // No R(em) element remains beyond the threshold: no later anchor can
+    // produce a novel window either.
+    if (cursor >= last.size()) break;
+    if (last.time(cursor) > end) continue;
     windows.push_back(Window{anchor, end});
     prev_end = end;
     prev_anchor = anchor;
     have_processed = true;
   }
-  return windows;
 }
 
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
@@ -44,7 +80,7 @@ std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
   for (size_t i = 0; i < first.size(); ++i) {
     const Timestamp anchor = first.time(i);
     if (have_prev && anchor == prev_anchor) continue;
-    windows.push_back(Window{anchor, anchor + delta});
+    windows.push_back(Window{anchor, WindowEnd(anchor, delta)});
     prev_anchor = anchor;
     have_prev = true;
   }

@@ -38,6 +38,11 @@ std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
                                             const EdgeSeries& last,
                                             Timestamp delta);
 
+/// Same, into a caller-owned buffer (cleared first) — the DP's
+/// per-match path reuses one buffer instead of allocating per match.
+void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
+                             Timestamp delta, std::vector<Window>* windows);
+
 /// All window positions, one per distinct R(e1) anchor timestamp, with no
 /// novelty filtering. Used only by the ablation study to quantify what
 /// the skip rule saves; the extra windows can only regenerate

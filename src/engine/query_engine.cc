@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -112,6 +113,38 @@ void AccumulateCounts(const InstanceCounter::Result& counts, double seconds,
   result->memo_hits += counts.memo_hits;
   result->stats.phase2_seconds += seconds;
 }
+
+/// Checkout pool of DP scratches for the kTop1 paths: a P2 batch
+/// borrows one for the duration of its RunOnMatches call, so a worker's
+/// successive batches reuse the same timeline/table buffers and the
+/// same per-query window memo instead of reallocating (and recomputing
+/// windows) per batch. Scratch contents never influence results — only
+/// where the buffers live — so the checkout order is free to vary with
+/// scheduling.
+class DpScratchPool {
+ public:
+  std::unique_ptr<MaxFlowDpSearcher::Scratch> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<MaxFlowDpSearcher::Scratch> scratch =
+            std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<MaxFlowDpSearcher::Scratch>();
+  }
+
+  void Release(std::unique_ptr<MaxFlowDpSearcher::Scratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<MaxFlowDpSearcher::Scratch>> free_;
+};
 
 /// Folds per-batch DP incumbents, in serial batch order, with the
 /// strictly-greater rule — the same rule the serial searcher applies
@@ -359,11 +392,16 @@ void QueryEngine::RunTop1(const Motif& motif,
   result->num_batches = static_cast<int64_t>(batches.size());
 
   std::vector<MaxFlowDpSearcher::Result> outputs(batches.size());
+  DpScratchPool scratch_pool;
   pool->ParallelFor(
       static_cast<int64_t>(batches.size()), [&](int64_t b) {
         const MatchBatch& batch = batches[static_cast<size_t>(b)];
+        std::unique_ptr<MaxFlowDpSearcher::Scratch> scratch =
+            scratch_pool.Acquire();
         outputs[static_cast<size_t>(b)] = searcher.RunOnMatches(
-            matches.data() + batch.begin, matches.data() + batch.end);
+            matches.data() + batch.begin, matches.data() + batch.end,
+            scratch.get());
+        scratch_pool.Release(std::move(scratch));
       });
 
   MaxFlowDpSearcher::Result best = MergeTop1Outputs(&outputs);
@@ -523,11 +561,16 @@ void QueryEngine::RunStreamed(const Motif& motif,
       const MaxFlowDpSearcher searcher(graph_, motif, options.delta);
       std::mutex mu;
       std::vector<std::pair<int64_t, MaxFlowDpSearcher::Result>> outputs;
+      DpScratchPool scratch_pool;
       const StreamStats stream = StreamTwoPhase(
           motif, options, pool,
           [&](int64_t first, const MatchBinding* begin,
               const MatchBinding* end) {
-            MaxFlowDpSearcher::Result out = searcher.RunOnMatches(begin, end);
+            std::unique_ptr<MaxFlowDpSearcher::Scratch> scratch =
+                scratch_pool.Acquire();
+            MaxFlowDpSearcher::Result out =
+                searcher.RunOnMatches(begin, end, scratch.get());
+            scratch_pool.Release(std::move(scratch));
             std::lock_guard<std::mutex> lock(mu);
             outputs.emplace_back(first, std::move(out));
           });

@@ -35,6 +35,42 @@ size_t EdgeSeries::UpperBound(Timestamp t) const {
       std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
 }
 
+size_t EdgeSeries::AdvanceLowerBound(size_t from, Timestamp t) const {
+  const size_t n = times_.size();
+  if (from >= n || times_[from] >= t) return from;
+  // Gallop: double the step while the probe is still < t, keeping the
+  // invariant times_[low] < t, then binary-search the bracket. Cost is
+  // O(log gap), so tight window-to-window slides stay ~constant and a
+  // first window deep into the series costs no more than LowerBound.
+  size_t low = from;
+  size_t step = 1;
+  while (low + step < n && times_[low + step] < t) {
+    low += step;
+    step <<= 1;
+  }
+  const size_t high = std::min(n, low + step);
+  return static_cast<size_t>(
+      std::lower_bound(times_.begin() + static_cast<ptrdiff_t>(low) + 1,
+                       times_.begin() + static_cast<ptrdiff_t>(high), t) -
+      times_.begin());
+}
+
+size_t EdgeSeries::AdvanceUpperBound(size_t from, Timestamp t) const {
+  const size_t n = times_.size();
+  if (from >= n || times_[from] > t) return from;
+  size_t low = from;  // invariant: times_[low] <= t
+  size_t step = 1;
+  while (low + step < n && times_[low + step] <= t) {
+    low += step;
+    step <<= 1;
+  }
+  const size_t high = std::min(n, low + step);
+  return static_cast<size_t>(
+      std::upper_bound(times_.begin() + static_cast<ptrdiff_t>(low) + 1,
+                       times_.begin() + static_cast<ptrdiff_t>(high), t) -
+      times_.begin());
+}
+
 Flow EdgeSeries::FlowInOpenClosed(Timestamp lo, Timestamp hi) const {
   if (lo >= hi) return 0.0;
   size_t first = UpperBound(lo);
@@ -54,12 +90,6 @@ Flow EdgeSeries::FlowInClosed(Timestamp lo, Timestamp hi) const {
 bool EdgeSeries::HasElementInOpenClosed(Timestamp lo, Timestamp hi) const {
   if (lo >= hi) return false;
   size_t first = UpperBound(lo);
-  return first < size() && times_[first] <= hi;
-}
-
-bool EdgeSeries::HasElementInClosed(Timestamp lo, Timestamp hi) const {
-  if (lo > hi) return false;
-  size_t first = LowerBound(lo);
   return first < size() && times_[first] <= hi;
 }
 

@@ -38,6 +38,25 @@ class EdgeSeries {
     return prefix_[j + 1] - prefix_[i];
   }
 
+  /// Sum of flows over the half-open index range [first, limit); 0 when
+  /// the range is empty. With first = LowerBound(lo) and
+  /// limit = UpperBound(hi) this equals FlowInClosed(lo, hi) bit for bit
+  /// — it is the O(1) `flow([tj,ti],k)` of Eq. 2 once the DP's window
+  /// cursor has the bounds as indices. `limit` must be <= size().
+  Flow FlowInIndexRange(size_t first, size_t limit) const {
+    return first < limit ? prefix_[limit] - prefix_[first] : 0.0;
+  }
+
+  /// First index i >= from with time(i) >= t (== size() if none). A
+  /// galloping advance: O(log gap) in the distance moved, so the
+  /// sliding-window cursors pay O(1)-ish per window when consecutive
+  /// windows overlap (the common case) yet never worse than a binary
+  /// search when the first window of a match sits deep into the series.
+  size_t AdvanceLowerBound(size_t from, Timestamp t) const;
+
+  /// First index i >= from with time(i) > t (== size() if none).
+  size_t AdvanceUpperBound(size_t from, Timestamp t) const;
+
   /// Total flow of the whole series.
   Flow TotalFlow() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
 
@@ -57,11 +76,6 @@ class EdgeSeries {
 
   /// True iff some element has lo < time <= hi.
   bool HasElementInOpenClosed(Timestamp lo, Timestamp hi) const;
-
-  /// True iff some element has lo <= time <= hi. Unlike the open-closed
-  /// variant, `lo` itself counts, so callers probing from the minimum
-  /// representable timestamp need no (underflowing) `lo - 1`.
-  bool HasElementInClosed(Timestamp lo, Timestamp hi) const;
 
   /// Replaces the flow values (used by the significance module's flow
   /// permutation, which keeps structure and timestamps fixed) and rebuilds

@@ -135,5 +135,46 @@ TEST(EdgeSeriesTest, PrefixSumsMatchNaiveSummation) {
   }
 }
 
+TEST(EdgeSeriesTest, FlowInIndexRangeMatchesFlowInClosed) {
+  EdgeSeries s = MakeSeries();  // times 10, 13, 15, 18
+  for (Timestamp lo = 8; lo <= 20; ++lo) {
+    for (Timestamp hi = lo; hi <= 20; ++hi) {
+      EXPECT_EQ(s.FlowInIndexRange(s.LowerBound(lo), s.UpperBound(hi)),
+                s.FlowInClosed(lo, hi))
+          << "lo=" << lo << " hi=" << hi;
+    }
+  }
+  EXPECT_EQ(s.FlowInIndexRange(2, 2), 0.0);
+  EXPECT_EQ(s.FlowInIndexRange(3, 1), 0.0);
+}
+
+TEST(EdgeSeriesTest, GallopingAdvanceMatchesBinarySearch) {
+  // The cursor advances must agree with the plain binary searches from
+  // every valid starting position — including duplicate-timestamp runs,
+  // gap timestamps, and the past-the-end position.
+  std::vector<Interaction> interactions;
+  for (int i = 0; i < 60; ++i) {
+    interactions.push_back({(i / 3) * 5, 1.0 + (i % 4)});  // triples, gaps
+  }
+  EdgeSeries s(interactions);
+  for (Timestamp t = -2; t <= s.time(s.size() - 1) + 3; ++t) {
+    const size_t lower = s.LowerBound(t);
+    const size_t upper = s.UpperBound(t);
+    for (size_t from = 0; from <= s.size(); ++from) {
+      if (from <= lower) {
+        EXPECT_EQ(s.AdvanceLowerBound(from, t), lower)
+            << "t=" << t << " from=" << from;
+      }
+      if (from <= upper) {
+        EXPECT_EQ(s.AdvanceUpperBound(from, t), upper)
+            << "t=" << t << " from=" << from;
+      }
+    }
+    // A cursor already past the target stays put (monotone contract).
+    EXPECT_EQ(s.AdvanceLowerBound(s.size(), t), s.size());
+    EXPECT_EQ(s.AdvanceUpperBound(s.size(), t), s.size());
+  }
+}
+
 }  // namespace
 }  // namespace flowmotif

@@ -106,6 +106,24 @@ TEST(SlidingWindowTest, MinimumTimestampAnchorElementCountsForNovelty) {
   EXPECT_EQ(windows[0], (Window{kMin, kMin}));
 }
 
+TEST(SlidingWindowTest, MaximumTimestampAnchorSaturatesWindowEnd) {
+  // The mirror of the min-sentinel underflow: an anchor near
+  // numeric_limits<Timestamp>::max() must not signed-overflow when the
+  // window end is computed — the end saturates at the axis maximum
+  // (such a window cannot gain later elements anyway).
+  const Timestamp kMax = std::numeric_limits<Timestamp>::max();
+  EdgeSeries first = Series({kMax - 2, kMax});
+  EdgeSeries last = Series({kMax - 1, kMax});
+  std::vector<Window> windows = ComputeProcessedWindows(first, last, 10);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (Window{kMax - 2, kMax}));
+
+  std::vector<Window> all = ComputeAllWindows(first, 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], (Window{kMax - 2, kMax}));
+  EXPECT_EQ(all[1], (Window{kMax, kMax}));
+}
+
 TEST(SlidingWindowTest, MinimumTimestampDuplicateAnchorsProduceOneWindow) {
   const Timestamp kMin = std::numeric_limits<Timestamp>::min();
   EdgeSeries first = Series({kMin, kMin, kMin + 3});
