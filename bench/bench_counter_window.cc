@@ -1,0 +1,170 @@
+// Micro-benchmarks of the construction-free counting path
+// (core/counter.cc) and the join baseline (core/join_baseline.cc) —
+// the two per-window evaluation paths ported to the shared
+// window-cursor layer after the DP (bench_dp_window.cc).
+//
+// Presets mirror bench_dp_window so the perf trajectory reads across
+// harnesses:
+//  * dense_path — the same directed ring; counting M(4,3) slides
+//    ~kPerEdge windows per match and the recursion visits every
+//    in-window element of every motif edge. This is the preset the
+//    ISSUE-4 ≥3x target and the CI regression threshold track.
+//  * fanout — hub graph, general motif 0>1,0>2, same counting
+//    recursion on per-first-edge matches.
+//  * join — the Sec. 4 join baseline on a smaller ring (its quintuple
+//    tables grow ~quadratically with density, so the dense preset
+//    would swamp the timer).
+//
+// Run with --benchmark_out_format=json; the CI perf step compares
+// real_time per benchmark name against the committed
+// BENCH_baseline.json (pre-rewrite counter/join on the reference
+// container) and fails on >25% single-thread regression.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/counter.h"
+#include "core/join_baseline.h"
+#include "core/motif_catalog.h"
+#include "core/structural_match.h"
+#include "graph/interaction_graph.h"
+#include "graph/time_series_graph.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace flowmotif {
+namespace {
+
+constexpr Timestamp kSpan = 1000000;  // event horizon of all presets
+constexpr int kPerEdge = 1200;        // interactions per topology edge
+
+/// Evenly spreads `per_edge` jittered interactions over [0, span).
+void FillEdge(InteractionGraph* g, VertexId src, VertexId dst,
+              int per_edge, Rng* rng) {
+  const Timestamp slot = kSpan / per_edge;
+  for (int i = 0; i < per_edge; ++i) {
+    const Timestamp t =
+        slot * i + static_cast<Timestamp>(rng->NextBounded(
+                       static_cast<uint64_t>(slot)));
+    const Flow f = rng->UniformDouble(0.5, 10.0);
+    const Status s = g->AddEdge(src, dst, t, f);
+    FLOWMOTIF_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+/// Directed ring 0 -> 1 -> ... -> size-1 -> 0, every edge `per_edge`
+/// dense.
+TimeSeriesGraph MakeRing(int size, int per_edge, uint64_t seed) {
+  InteractionGraph g;
+  Rng rng(seed);
+  for (VertexId v = 0; v < size; ++v) {
+    FillEdge(&g, v, (v + 1) % size, per_edge, &rng);
+  }
+  return TimeSeriesGraph::Build(g);
+}
+
+const TimeSeriesGraph& DenseRingGraph() {
+  static const TimeSeriesGraph* graph =
+      new TimeSeriesGraph(MakeRing(8, kPerEdge, 7));
+  return *graph;
+}
+
+/// Hub 0 with dense out-edges to leaves 1..kLeaves.
+const TimeSeriesGraph& FanoutGraph() {
+  static const TimeSeriesGraph* graph = [] {
+    constexpr int kLeaves = 5;
+    InteractionGraph g;
+    Rng rng(13);
+    for (VertexId leaf = 1; leaf <= kLeaves; ++leaf) {
+      FillEdge(&g, 0, leaf, kPerEdge, &rng);
+    }
+    return new TimeSeriesGraph(TimeSeriesGraph::Build(g));
+  }();
+  return *graph;
+}
+
+/// Sparser triangle for the join baseline: quintuple tables scale with
+/// density squared, so the join preset keeps the step-1 tables sane,
+/// and a 3-ring actually closes M(3,3) instances.
+const TimeSeriesGraph& JoinRingGraph() {
+  static const TimeSeriesGraph* graph =
+      new TimeSeriesGraph(MakeRing(3, 600, 29));
+  return *graph;
+}
+
+/// One RunOnMatches counting pass per iteration; matches precomputed so
+/// only the per-window counting recursion is on the clock.
+void RunCounterBenchmark(benchmark::State& state,
+                         const TimeSeriesGraph& graph, const Motif& motif) {
+  const Timestamp delta = state.range(0);
+  const Flow phi = 5.0;  // moderate: prunes some prefixes, not all
+  const StructuralMatcher matcher(graph, motif);
+  const std::vector<MatchBinding> matches = matcher.FindAllMatches();
+  FLOWMOTIF_CHECK(!matches.empty());
+  const InstanceCounter counter(graph, motif, delta, phi);
+
+  InstanceCounter::Result result;
+  for (auto _ : state) {
+    result = counter.RunOnMatches(matches);
+    benchmark::DoNotOptimize(result.num_instances);
+  }
+  state.counters["matches"] =
+      benchmark::Counter(static_cast<double>(matches.size()));
+  state.counters["windows"] =
+      benchmark::Counter(static_cast<double>(result.num_windows));
+  state.counters["instances"] =
+      benchmark::Counter(static_cast<double>(result.num_instances));
+  state.counters["windows/s"] = benchmark::Counter(
+      static_cast<double>(result.num_windows) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CounterWindow_DensePath(benchmark::State& state) {
+  RunCounterBenchmark(state, DenseRingGraph(),
+                      *MotifCatalog::ByName("M(4,3)"));
+}
+BENCHMARK(BM_CounterWindow_DensePath)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CounterWindow_Fanout(benchmark::State& state) {
+  RunCounterBenchmark(state, FanoutGraph(),
+                      *Motif::Parse("0>1,0>2", "fanout"));
+}
+BENCHMARK(BM_CounterWindow_Fanout)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full join-baseline run (count only): step-1 quintuples, the
+/// hierarchical joins, and the anchor-novelty filter.
+void BM_JoinBaseline_Ring(benchmark::State& state) {
+  const Timestamp delta = state.range(0);
+  const TimeSeriesGraph& graph = JoinRingGraph();
+  const Motif motif = *MotifCatalog::ByName("M(3,3)");
+  const JoinMotifEnumerator join(graph, motif, delta, /*phi=*/5.0);
+
+  JoinMotifEnumerator::Result result;
+  for (auto _ : state) {
+    result = join.Run();
+    benchmark::DoNotOptimize(result.num_instances);
+  }
+  state.counters["quintuples"] =
+      benchmark::Counter(static_cast<double>(result.num_quintuples));
+  state.counters["partials"] =
+      benchmark::Counter(static_cast<double>(result.num_partials));
+  state.counters["instances"] =
+      benchmark::Counter(static_cast<double>(result.num_instances));
+}
+BENCHMARK(BM_JoinBaseline_Ring)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flowmotif
+
+BENCHMARK_MAIN();

@@ -2,10 +2,12 @@
 #define FLOWMOTIF_CORE_COUNTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/motif.h"
 #include "core/structural_match.h"
+#include "core/window_cursor.h"
 #include "graph/time_series_graph.h"
 #include "graph/types.h"
 
@@ -27,6 +29,14 @@ namespace flowmotif {
 /// which happens whenever different e_{i-1} prefixes end before the same
 /// e_i element — therefore share one memo entry, turning the
 /// multiplicative tree into a linear pass per window.
+///
+/// The per-window machinery rides the shared core/window_cursor layer:
+/// window lists come from a SharedWindowCache (injected per query by
+/// the engine, or privately owned when the motif's (first, last) series
+/// pairs can repeat), the per-level window bounds slide on a
+/// WindowCursorSet instead of one UpperBound per recursion call, and
+/// the recursion's per-element next-edge searches are monotone
+/// galloping advances.
 class InstanceCounter {
  public:
   struct Result {
@@ -36,10 +46,16 @@ class InstanceCounter {
     int64_t memo_hits = 0;  // branches answered from the memo
   };
 
+  /// `window_cache` (optional) is the per-query shared cache; it must
+  /// outlive the counter and be bound to the same delta. It is read
+  /// only when the motif has an interior node — the only shape where a
+  /// (first, last) pair can repeat.
   InstanceCounter(const TimeSeriesGraph& graph, const Motif& motif,
-                  Timestamp delta, Flow phi);
+                  Timestamp delta, Flow phi,
+                  SharedWindowCache* window_cache = nullptr);
   // The counter keeps a reference to the graph: temporaries would dangle.
-  InstanceCounter(TimeSeriesGraph&&, const Motif&, Timestamp, Flow) = delete;
+  InstanceCounter(TimeSeriesGraph&&, const Motif&, Timestamp, Flow,
+                  SharedWindowCache* = nullptr) = delete;
 
   /// Counts over the whole graph (phase P1 + counting per match).
   Result Run() const;
@@ -47,14 +63,23 @@ class InstanceCounter {
   /// Counts over precomputed structural matches.
   Result RunOnMatches(const std::vector<MatchBinding>& matches) const;
 
-  /// Counts within a single structural match.
-  int64_t CountMatch(const MatchBinding& binding, Result* result) const;
+  /// Counts within a single structural match. `window_mru` (optional)
+  /// is a caller-owned one-entry window-list fallback: callers looping
+  /// over serial-order matches (RunOnMatches, the engine's batch runs)
+  /// pass one so consecutive matches sharing a (first, last) pair reuse
+  /// the computed list even when the shared cache declines the pair.
+  int64_t CountMatch(const MatchBinding& binding, Result* result,
+                     WindowListMru* window_mru = nullptr) const;
 
  private:
   const TimeSeriesGraph& graph_;
   const Motif motif_;
   Timestamp delta_;
   Flow phi_;
+  // Privately owned cache when none is injected and the motif has an
+  // interior node (the only shape where a pair repeats).
+  std::unique_ptr<SharedWindowCache> owned_cache_;
+  SharedWindowCache* cache_;  // null = compute windows per match
 };
 
 }  // namespace flowmotif

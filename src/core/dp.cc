@@ -8,39 +8,24 @@
 
 namespace flowmotif {
 
-namespace {
-
-/// True iff some motif node is absent from the endpoints of the first
-/// and last motif edges. Only then can two distinct bindings share the
-/// same (first, last) series pair — otherwise the two series pointers
-/// pin every bound vertex and the window memo could never hit.
-bool HasInteriorNode(const Motif& motif) {
-  const auto [f_src, f_dst] = motif.edge(0);
-  const auto [l_src, l_dst] = motif.edge(motif.num_edges() - 1);
-  for (int node = 0; node < motif.num_nodes(); ++node) {
-    if (node != f_src && node != f_dst && node != l_src && node != l_dst) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// Window-memo entry cap: matches sharing a (first, last) pair arrive
-/// in runs (the P1 DFS varies interior vertices innermost), so clearing
-/// a full memo keeps the hit rate while bounding retained window lists
-/// — without a cap, a kTop1 query over millions of matches would hold
-/// every match's windows until the query ends.
-constexpr size_t kWindowCacheMaxEntries = 1024;
-
-}  // namespace
-
 MaxFlowDpSearcher::MaxFlowDpSearcher(const TimeSeriesGraph& graph,
-                                     const Motif& motif, Timestamp delta)
-    : graph_(graph),
-      motif_(motif),
-      delta_(delta),
-      memoize_windows_(HasInteriorNode(motif)) {
+                                     const Motif& motif, Timestamp delta,
+                                     SharedWindowCache* window_cache)
+    : graph_(graph), motif_(motif), delta_(delta) {
   FLOWMOTIF_CHECK_GE(delta, 0);
+  if (!MotifHasInteriorNode(motif)) {
+    // Without an interior node the (first, last) series pin the whole
+    // binding, so a pair never repeats and caching could never hit —
+    // even an injected cache would be pure insert traffic.
+    cache_ = nullptr;
+  } else if (window_cache != nullptr) {
+    FLOWMOTIF_CHECK_EQ(window_cache->delta(), delta)
+        << "shared window cache bound to a different delta";
+    cache_ = window_cache;
+  } else {
+    owned_cache_ = std::make_unique<SharedWindowCache>(delta);
+    cache_ = owned_cache_.get();
+  }
 }
 
 void MaxFlowDpSearcher::CheckScratch(Scratch* scratch) const {
@@ -49,9 +34,8 @@ void MaxFlowDpSearcher::CheckScratch(Scratch* scratch) const {
     scratch->bound_delta = delta_;
     return;
   }
-  // The window memo keys on EdgeSeries pointers and caches
-  // delta-dependent window lists; reuse across another graph or delta
-  // would silently return wrong windows.
+  // Cursor state and buffers are per-run, but guarding the binding
+  // keeps a Scratch from silently crossing graphs or deltas.
   FLOWMOTIF_CHECK(scratch->bound_graph == &graph_ &&
                   scratch->bound_delta == delta_)
       << "DP Scratch reused across a different graph or delta";
@@ -73,27 +57,10 @@ const std::vector<Window>& MaxFlowDpSearcher::BeginMatch(
 
   // Window cursors restart from the series fronts for every match; they
   // only ever move forward within one match's window sweep.
-  scratch->lo.assign(m, 0);
-  scratch->hi.assign(m, 0);
+  scratch->cursors.Reset(series);
 
-  if (!memoize_windows_) {
-    ComputeProcessedWindows(*series.front(), *series.back(), delta_,
-                            &scratch->windows);
-    return scratch->windows;
-  }
-  if (scratch->window_cache.size() >= kWindowCacheMaxEntries &&
-      scratch->window_cache.find(std::make_pair(series.front(),
-                                                series.back())) ==
-          scratch->window_cache.end()) {
-    scratch->window_cache.clear();
-  }
-  auto [it, inserted] = scratch->window_cache.try_emplace(
-      std::make_pair(series.front(), series.back()));
-  if (inserted) {
-    it->second =
-        ComputeProcessedWindows(*series.front(), *series.back(), delta_);
-  }
-  return it->second;
+  return scratch->window_mru.GetOrCompute(cache_, *series.front(),
+                                          *series.back(), delta_);
 }
 
 Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
@@ -102,18 +69,12 @@ Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
   const size_t m = static_cast<size_t>(motif_.num_edges());
   const std::vector<const EdgeSeries*>& series = scratch->series;
 
-  // Slide the per-series cursors to this window: lo = LowerBound(start),
-  // hi = UpperBound(end). Window starts and ends are non-decreasing
-  // across a match (anchors are the sorted first-series timestamps), so
-  // the galloping advances cost O(log gap) in the distance moved —
-  // near-constant for overlapping consecutive windows, never worse than
-  // a binary search for a first window deep into the series.
-  for (size_t k = 0; k < m; ++k) {
-    scratch->lo[k] = series[k]->AdvanceLowerBound(scratch->lo[k],
-                                                  window.start);
-    scratch->hi[k] = series[k]->AdvanceUpperBound(scratch->hi[k],
-                                                  window.end);
-  }
+  // Slide the per-series cursors to this window. Galloping advances
+  // cost O(log gap) in the distance moved — near-constant for
+  // overlapping consecutive windows, never worse than a binary search
+  // for a first window deep into the series.
+  WindowCursorSet& cursors = scratch->cursors;
+  cursors.AdvanceTo(window);
 
   // Admissible window bound: no instance can beat the minimum over motif
   // edges of the edge's total flow inside the window — an O(1)
@@ -122,68 +83,22 @@ Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
   {
     Flow bound = std::numeric_limits<Flow>::infinity();
     for (size_t k = 0; k < m; ++k) {
-      bound = std::min(bound, series[k]->FlowInIndexRange(scratch->lo[k],
-                                                          scratch->hi[k]));
+      bound = std::min(bound, series[k]->FlowInIndexRange(cursors.lo(k),
+                                                          cursors.hi(k)));
     }
     if (bound <= result->max_flow) return 0.0;
   }
 
-  // Union timeline t1..t_tau: a k-way merge of the per-series sorted
-  // slices [lo, hi) into the reusable buffer (replaces push-all +
-  // std::sort + std::unique). The motif has a handful of edges, so the
-  // linear min-scan beats a heap.
-  std::vector<Timestamp>& timeline = scratch->timeline;
-  timeline.clear();
-  std::vector<size_t>& head = scratch->merge_pos;
-  head.assign(scratch->lo.begin(), scratch->lo.end());
-  while (true) {
-    Timestamp next = 0;
-    bool any = false;
-    for (size_t k = 0; k < m; ++k) {
-      if (head[k] >= scratch->hi[k]) continue;
-      const Timestamp t = series[k]->time(head[k]);
-      if (!any || t < next) {
-        next = t;
-        any = true;
-      }
-    }
-    if (!any) break;
-    timeline.push_back(next);
-    for (size_t k = 0; k < m; ++k) {
-      while (head[k] < scratch->hi[k] && series[k]->time(head[k]) == next) {
-        ++head[k];
-      }
-    }
-  }
+  // Union timeline t1..t_tau (k-way merge into the reusable buffer).
+  UnionTimeline& timeline = scratch->timeline;
+  timeline.Build(series, cursors);
   const size_t tau = timeline.size();
   if (tau == 0) return 0.0;
 
-  // Per-series timeline offsets: lower_idx[k*tau+i] / upper_idx[k*tau+i]
-  // are series k's LowerBound / UpperBound of timeline[i]. One monotone
-  // two-cursor sweep per row — every flow([tj,ti],k) inside the DP below
-  // is then a genuine O(1) prefix-sum subtraction. The sweeps may clamp
-  // at [lo, hi]: timeline entries lie inside [start, end], so the global
-  // bounds can never fall outside the cursor range.
-  std::vector<size_t>& lower_idx = scratch->lower_idx;
-  std::vector<size_t>& upper_idx = scratch->upper_idx;
-  lower_idx.resize(m * tau);
-  upper_idx.resize(m * tau);
-  for (size_t k = 0; k < m; ++k) {
-    const std::vector<Timestamp>& times = series[k]->times();
-    const size_t series_end = scratch->hi[k];
-    size_t lower = scratch->lo[k];
-    size_t upper = scratch->lo[k];
-    size_t* lower_row = lower_idx.data() + k * tau;
-    size_t* upper_row = upper_idx.data() + k * tau;
-    for (size_t i = 0; i < tau; ++i) {
-      const Timestamp t = timeline[i];
-      while (lower < series_end && times[lower] < t) ++lower;
-      lower_row[i] = lower;
-      if (upper < lower) upper = lower;
-      while (upper < series_end && times[upper] <= t) ++upper;
-      upper_row[i] = upper;
-    }
-  }
+  // Per-series timeline offsets: one monotone sweep per row makes every
+  // flow([tj,ti],k) in the DP below an O(1) prefix-sum subtraction.
+  TimelineOffsets& offsets = scratch->offsets;
+  offsets.Build(series, cursors, timeline);
 
   // Flow([t1, t_i], k) as rows of one flat m x tau table (row stride
   // tau); `choice` records the argmax split j of Eq. 2 for the traceback
@@ -196,8 +111,8 @@ Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
 
   {
     const EdgeSeries& s0 = *series[0];
-    const size_t first0 = lower_idx[0];  // LowerBound of t1 in R(e1)
-    const size_t* upper_row = upper_idx.data();
+    const size_t first0 = offsets.lower(0, 0);  // LowerBound of t1 in R(e1)
+    const size_t* upper_row = offsets.upper_row(0);
     Flow* row = flow_table.data();
     for (size_t i = 0; i < tau; ++i) {
       row[i] = s0.FlowInIndexRange(first0, upper_row[i]);
@@ -208,8 +123,8 @@ Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
     const Flow* prev_row = flow_table.data() + (k - 1) * tau;
     Flow* row = flow_table.data() + k * tau;
     size_t* row_choice = choice.data() + k * tau;
-    const size_t* lower_row = lower_idx.data() + k * tau;
-    const size_t* upper_row = upper_idx.data() + k * tau;
+    const size_t* lower_row = offsets.lower_row(k);
+    const size_t* upper_row = offsets.upper_row(k);
     for (size_t i = 1; i < tau; ++i) {
       const size_t upper_i = upper_row[i];
       // Eq. 2 is max_j min(L(j), R(j)) where L(j) = Flow([t1,t_{j-1}],k-1)
@@ -262,16 +177,16 @@ Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,
     FLOWMOTIF_CHECK_GT(j, 0u);
     const EdgeSeries& sk = *series[k];
     auto& set = instance.edge_sets[k];
-    const size_t first = lower_idx[k * tau + j];
-    const size_t limit = upper_idx[k * tau + i];
+    const size_t first = offsets.lower(k, j);
+    const size_t limit = offsets.upper(k, i);
     for (size_t idx = first; idx < limit; ++idx) set.push_back(sk.at(idx));
     i = j - 1;
   }
   {
     const EdgeSeries& s0 = *series[0];
     auto& set = instance.edge_sets[0];
-    const size_t first = lower_idx[0];
-    const size_t limit = upper_idx[i];
+    const size_t first = offsets.lower(0, 0);
+    const size_t limit = offsets.upper(0, i);
     for (size_t idx = first; idx < limit; ++idx) set.push_back(s0.at(idx));
   }
 

@@ -1,13 +1,14 @@
 #ifndef FLOWMOTIF_CORE_DP_H_
 #define FLOWMOTIF_CORE_DP_H_
 
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/motif.h"
 #include "core/sliding_window.h"
 #include "core/structural_match.h"
+#include "core/window_cursor.h"
 #include "graph/time_series_graph.h"
 
 namespace flowmotif {
@@ -28,12 +29,15 @@ namespace flowmotif {
 /// yields the global top-1. A traceback reconstructs the argmax instance
 /// (the bold cells of Table 2).
 ///
-/// Window processing is *incremental*: windows of a match are anchored
-/// on the sorted first-series timestamps, so every per-series bound
-/// (admissible range, timeline slice) is monotone as windows advance.
-/// Per-match cursors slide forward instead of re-running binary
-/// searches, and the union timeline is rebuilt by a k-way merge of the
-/// advancing slices into one reusable buffer.
+/// Window processing is *incremental* on the shared core/window_cursor
+/// layer: windows of a match are anchored on the sorted first-series
+/// timestamps, so per-match WindowCursorSet cursors slide forward
+/// instead of re-running binary searches, the union timeline is rebuilt
+/// by a k-way merge (UnionTimeline), and flat offset rows
+/// (TimelineOffsets) make every Eq. 2 lookup O(1). Window lists are
+/// served by a SharedWindowCache — injected per query by the engine, or
+/// privately owned when the motif's (first, last) series pairs can
+/// repeat.
 class MaxFlowDpSearcher {
  public:
   struct Result {
@@ -59,60 +63,35 @@ class MaxFlowDpSearcher {
   /// otherwise spend most of its time reallocating the timeline, the
   /// offset maps, and the table rows; callers that process many batches
   /// (the engine) hand the same Scratch to successive RunOnMatches calls
-  /// so the buffers and the window memo survive batch boundaries.
+  /// so the buffers survive batch boundaries. Window lists live in the
+  /// searcher's SharedWindowCache, not here — every worker of a query
+  /// shares one cache.
   ///
   /// A Scratch is bound to one (graph, delta) configuration on first use
-  /// — the window memo keys on EdgeSeries pointers, which are only
-  /// meaningful for one graph — and checked on every run. Scratch reuse
-  /// never changes results: all per-window state is fully overwritten.
+  /// and checked on every run. Scratch reuse never changes results: all
+  /// per-window state is fully overwritten.
   struct Scratch {
     // Per-match series resolution (ResolveSeries target, one motif edge
     // per entry).
     std::vector<const EdgeSeries*> series;
 
-    // Sliding cursors, one per motif edge: lo = LowerBound(window.start),
-    // hi = UpperBound(window.end) of the current window. Invariants:
-    // both are non-decreasing across a match's windows (starts and ends
-    // are sorted), and lo <= hi for every window.
-    std::vector<size_t> lo;
-    std::vector<size_t> hi;
-    std::vector<size_t> merge_pos;  // k-way merge heads
+    // Sliding per-series window cursors (core/window_cursor.h).
+    WindowCursorSet cursors;
 
-    // Union timeline of the current window (t1..t_tau).
-    std::vector<Timestamp> timeline;
-
-    // Flat m x tau maps, row stride tau: lower_idx[k*tau+i] /
-    // upper_idx[k*tau+i] are series k's LowerBound / UpperBound of
-    // timeline[i], filled by one monotone sweep per row. They turn every
-    // flow([tj,ti],k) of Eq. 2 into
-    // FlowInIndexRange(lower_idx[k,j], upper_idx[k,i]).
-    std::vector<size_t> lower_idx;
-    std::vector<size_t> upper_idx;
+    // Union timeline of the current window and the flat m x tau offset
+    // rows over it.
+    UnionTimeline timeline;
+    TimelineOffsets offsets;
 
     // Flat m x tau DP tables, row stride tau (single allocation instead
     // of vector-of-vectors).
     std::vector<Flow> flow_table;
     std::vector<size_t> choice;
 
-    // Per-match window list when the memo below is disabled.
-    std::vector<Window> windows;
-
-    // ComputeProcessedWindows memo across matches sharing the same
-    // (first, last) EdgeSeries pair. Only populated for motifs with an
-    // interior node (one absent from the first and last edges'
-    // endpoints): without one, the two series pin the whole binding and
-    // the memo could never hit. Size-capped — see BeginMatch.
-    struct SeriesPairHash {
-      size_t operator()(
-          const std::pair<const EdgeSeries*, const EdgeSeries*>& p) const {
-        const size_t h = std::hash<const void*>()(p.first);
-        return h ^ (std::hash<const void*>()(p.second) + 0x9e3779b9u +
-                    (h << 6) + (h >> 2));
-      }
-    };
-    std::unordered_map<std::pair<const EdgeSeries*, const EdgeSeries*>,
-                       std::vector<Window>, SeriesPairHash>
-        window_cache;
+    // Per-match window-list fallback when the shared cache declines
+    // the pair (saturated cache or memoization gated off): a one-entry
+    // MRU, so consecutive matches sharing a pair still hit.
+    WindowListMru window_mru;
 
     // First-use binding (graph + delta) guarding against accidental
     // reuse across incompatible searchers.
@@ -120,10 +99,17 @@ class MaxFlowDpSearcher {
     Timestamp bound_delta = 0;
   };
 
+  /// `window_cache` (optional) is the per-query shared cache; it must
+  /// outlive the searcher and be bound to the same delta. The searcher
+  /// reads through it — or, when null, through a privately owned cache
+  /// — iff the motif has an interior node (the only shape where a pair
+  /// can repeat); otherwise caching is off regardless.
   MaxFlowDpSearcher(const TimeSeriesGraph& graph, const Motif& motif,
-                    Timestamp delta);
+                    Timestamp delta,
+                    SharedWindowCache* window_cache = nullptr);
   // The searcher keeps a reference to the graph: temporaries would dangle.
-  MaxFlowDpSearcher(TimeSeriesGraph&&, const Motif&, Timestamp) = delete;
+  MaxFlowDpSearcher(TimeSeriesGraph&&, const Motif&, Timestamp,
+                    SharedWindowCache* = nullptr) = delete;
 
   /// Global top-1 over the whole graph (phase P1 + DP per match).
   Result Run() const;
@@ -140,8 +126,8 @@ class MaxFlowDpSearcher {
                       const MatchBinding* end) const;
 
   /// Same with caller-owned Scratch: successive calls (the engine's P2
-  /// batches) reuse the buffers and the window memo. The Scratch must
-  /// only ever be used with searchers on the same graph and delta.
+  /// batches) reuse the buffers. The Scratch must only ever be used
+  /// with searchers on the same graph and delta.
   Result RunOnMatches(const MatchBinding* begin, const MatchBinding* end,
                       Scratch* scratch) const;
 
@@ -150,6 +136,10 @@ class MaxFlowDpSearcher {
 
   /// Top-1 per window position within a single structural match.
   std::vector<WindowBest> RunPerWindow(const MatchBinding& binding) const;
+
+  /// The window cache this searcher reads through (injected or owned);
+  /// null when memoization is gated off. Exposed for tests.
+  const SharedWindowCache* window_cache() const { return cache_; }
 
  private:
   /// Runs the DP for one window of one match, using the cursors and
@@ -160,7 +150,9 @@ class MaxFlowDpSearcher {
                     Scratch* scratch, Result* result) const;
 
   /// Resolves the match's per-edge series into scratch->series, resets
-  /// the window cursors, and returns the memoized processed-window list.
+  /// the window cursors, and returns the match's processed-window list
+  /// (from the shared cache when possible, else served by
+  /// scratch->window_mru).
   const std::vector<Window>& BeginMatch(const MatchBinding& binding,
                                         Scratch* scratch) const;
 
@@ -171,9 +163,11 @@ class MaxFlowDpSearcher {
   const TimeSeriesGraph& graph_;
   const Motif motif_;
   Timestamp delta_;
-  // Whether the motif has an interior node, i.e. whether the window
-  // memo can ever hit (see Scratch::window_cache).
-  bool memoize_windows_;
+  // Privately owned cache when none is injected and the motif has an
+  // interior node. SharedWindowCache is internally synchronized, so the
+  // const methods above may insert through it.
+  std::unique_ptr<SharedWindowCache> owned_cache_;
+  SharedWindowCache* cache_;  // null = compute windows per match
 };
 
 }  // namespace flowmotif

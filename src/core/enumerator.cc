@@ -59,6 +59,19 @@ FlowMotifEnumerator::FlowMotifEnumerator(const TimeSeriesGraph& graph,
     : graph_(graph), motif_(motif), options_(options) {
   FLOWMOTIF_CHECK_GE(options.delta, 0) << "delta must be non-negative";
   FLOWMOTIF_CHECK_GE(options.phi, 0.0) << "phi must be non-negative";
+  if (!MotifHasInteriorNode(motif)) {
+    // Without an interior node the (first, last) series pin the whole
+    // binding, so a pair never repeats and caching could never hit —
+    // even an injected cache would be pure insert traffic.
+    cache_ = nullptr;
+  } else if (options.shared_window_cache != nullptr) {
+    FLOWMOTIF_CHECK_EQ(options.shared_window_cache->delta(), options.delta)
+        << "shared window cache bound to a different delta";
+    cache_ = options.shared_window_cache;
+  } else {
+    owned_cache_ = std::make_unique<SharedWindowCache>(options.delta);
+    cache_ = owned_cache_.get();
+  }
 }
 
 bool FlowMotifEnumerator::PassesFlowBound(Flow flow) const {
@@ -181,16 +194,30 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
   ctx.visitor = &visitor;
   ctx.result = result;
 
-  std::vector<Window> windows = ComputeProcessedWindows(
-      *ctx.series.front(), *ctx.series.back(), options_.delta);
+  // The match's processed-window list, read through the per-query
+  // shared cache when the motif's (first, last) series pairs can repeat
+  // (else computed into the local buffer, exactly as before PR 4).
+  std::vector<Window> local_windows;
+  const std::vector<Window>* windows = nullptr;
+  if (cache_ != nullptr) {
+    windows = cache_->Get(*ctx.series.front(), *ctx.series.back());
+  }
+  if (windows == nullptr) {
+    ComputeProcessedWindows(*ctx.series.front(), *ctx.series.back(),
+                            options_.delta, &local_windows);
+    windows = &local_windows;
+  }
+
   if (options_.ablation_no_window_skip) {
     // Ablation: run every anchor position; remember which ones the skip
     // rule would have processed so redundant emissions can be counted.
-    std::vector<Window> kept = std::move(windows);
-    windows = ComputeAllWindows(*ctx.series.front(), options_.delta);
+    const std::vector<Window>& kept = *windows;
+    const std::vector<Window> all_windows =
+        ComputeAllWindows(*ctx.series.front(), options_.delta);
     size_t kept_cursor = 0;
-    result->num_windows_processed += static_cast<int64_t>(windows.size());
-    for (const Window& window : windows) {
+    result->num_windows_processed +=
+        static_cast<int64_t>(all_windows.size());
+    for (const Window& window : all_windows) {
       if (ctx.stop) break;
       while (kept_cursor < kept.size() &&
              kept[kept_cursor].start < window.start) {
@@ -205,8 +232,8 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
     return !ctx.stop;
   }
 
-  result->num_windows_processed += static_cast<int64_t>(windows.size());
-  for (const Window& window : windows) {
+  result->num_windows_processed += static_cast<int64_t>(windows->size());
+  for (const Window& window : *windows) {
     if (ctx.stop) break;
     ctx.AdvanceToWindow(window);
     ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/motif.h"
 #include "core/sliding_window.h"
 #include "core/structural_match.h"
+#include "core/window_cursor.h"
 #include "graph/time_series_graph.h"
 
 namespace flowmotif {
@@ -49,6 +51,14 @@ struct EnumerationOptions {
   /// separately in EnumerationResult::num_redundant_instances. Used by
   /// bench_ablation.
   bool ablation_no_window_skip = false;
+
+  /// Per-query shared window cache (core/window_cursor.h), non-owning:
+  /// per-match processed-window lists are read through it instead of
+  /// recomputed per match. Must outlive the enumerator and be bound to
+  /// the same delta. When null, the enumerator owns a private cache iff
+  /// the motif has an interior node (the only shape where a
+  /// (first, last) series pair repeats).
+  SharedWindowCache* shared_window_cache = nullptr;
 };
 
 /// A contiguous run [begin, end) of one edge's interaction series — the
@@ -166,6 +176,11 @@ class FlowMotifEnumerator {
   const TimeSeriesGraph& graph_;
   const Motif motif_;
   const EnumerationOptions options_;
+  // Privately owned cache when options_.shared_window_cache is null and
+  // the motif has an interior node. SharedWindowCache is internally
+  // synchronized, so const methods may insert through it.
+  std::unique_ptr<SharedWindowCache> owned_cache_;
+  SharedWindowCache* cache_;  // null = compute windows per match
 };
 
 }  // namespace flowmotif

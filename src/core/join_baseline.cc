@@ -1,7 +1,6 @@
 #include "core/join_baseline.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -36,17 +35,42 @@ bool SplitsDuplicateAtEnd(const EdgeSeries& series, const Quint& q) {
          series.time(q.end) == series.time(q.end - 1);
 }
 
+/// The contiguous group of quintuples starting exactly at `begin`.
+/// Step 1 emits quintuples with non-decreasing `begin` (the anchor loop
+/// ascends), so the group is one binary-searched range — the join probe
+/// that used to scan the pair's whole table.
+std::pair<const Quint*, const Quint*> QuintGroupAt(
+    const std::vector<Quint>& quints, size_t begin) {
+  const Quint* first = std::partition_point(
+      quints.data(), quints.data() + quints.size(),
+      [begin](const Quint& q) { return q.begin < begin; });
+  const Quint* last = first;
+  while (last != quints.data() + quints.size() && last->begin == begin) {
+    ++last;
+  }
+  return {first, last};
+}
+
 }  // namespace
 
 JoinMotifEnumerator::JoinMotifEnumerator(const TimeSeriesGraph& graph,
                                          const Motif& motif, Timestamp delta,
-                                         Flow phi)
-    : graph_(graph), motif_(motif), delta_(delta), phi_(phi) {
+                                         Flow phi,
+                                         SharedWindowCache* window_cache)
+    : graph_(graph),
+      motif_(motif),
+      delta_(delta),
+      phi_(phi),
+      cache_(window_cache) {
   FLOWMOTIF_CHECK_GE(delta, 0);
   FLOWMOTIF_CHECK_GE(phi, 0.0);
   FLOWMOTIF_CHECK(motif.is_path())
       << "the join baseline is defined for spanning-path motifs (as in the "
          "paper); use FlowMotifEnumerator for general motifs";
+  if (window_cache != nullptr) {
+    FLOWMOTIF_CHECK_EQ(window_cache->delta(), delta)
+        << "shared window cache bound to a different delta";
+  }
 }
 
 JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
@@ -56,13 +80,18 @@ JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
   const int m = motif_.num_edges();
 
   // ---- Step 1: per-pair quintuple tables. -------------------------------
+  // The duration limit per anchor i — one past the last element within
+  // [time(i), time(i)+delta] — is non-decreasing in i, so one galloping
+  // cursor per series replaces the per-anchor rescan.
   std::vector<std::vector<Quint>> quints(
       static_cast<size_t>(graph_.num_pairs()));
   for (size_t p = 0; p < static_cast<size_t>(graph_.num_pairs()); ++p) {
     const EdgeSeries& series = graph_.pair(p).series;
+    size_t duration_limit = 0;
     for (size_t i = 0; i < series.size(); ++i) {
-      for (size_t j = i; j < series.size(); ++j) {
-        if (series.time(j) - series.time(i) > delta_) break;
+      duration_limit = series.AdvanceUpperBound(
+          duration_limit, WindowEndSaturating(series.time(i), delta_));
+      for (size_t j = i; j < duration_limit; ++j) {
         if (series.FlowSum(i, j) >= phi_) {
           quints[p].push_back(Quint{i, j + 1});
         }
@@ -133,7 +162,8 @@ JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
         }
 
         const EdgeSeries& series = pe.series;
-        const Timestamp window_end = partial.anchor + delta_;
+        const Timestamp window_end =
+            WindowEndSaturating(partial.anchor, delta_);
         // Canonical start: the run begins at the first element after the
         // previous edge's split.
         const size_t canonical_begin = series.UpperBound(partial.last_time);
@@ -145,8 +175,12 @@ JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
         const EdgeSeries& prev_series =
             graph_.pair(partial.slices.back().first).series;
 
-        for (const Quint& q : quints[p]) {
-          if (q.begin != canonical_begin) continue;
+        // Only the quintuple group anchored at the canonical start can
+        // join; everything else used to be filtered one-by-one.
+        const auto [group_begin, group_end] =
+            QuintGroupAt(quints[p], canonical_begin);
+        for (const Quint* qp = group_begin; qp != group_end; ++qp) {
+          const Quint& q = *qp;
           const Timestamp t_first = series.time(q.begin);
           const Timestamp t_last = series.time(q.end - 1);
           if (t_first <= partial.last_time) continue;   // strict time order
@@ -178,7 +212,8 @@ JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
     for (const Partial& partial : frontier) {
       const auto& [p, q] = partial.slices[0];
       const EdgeSeries& series = graph_.pair(p).series;
-      if (q.end == series.UpperBound(partial.anchor + delta_)) {
+      if (q.end ==
+          series.UpperBound(WindowEndSaturating(partial.anchor, delta_))) {
         kept.push_back(partial);
       }
     }
@@ -186,25 +221,26 @@ JoinMotifEnumerator::Result JoinMotifEnumerator::Run(
   }
 
   // ---- Anchor novelty: keep only instances whose anchor is a processed
-  // window position for their (e1, em) series pair. Cached per pair of
-  // pair-indices, mirroring the enumerator's window skip rule. -----------
-  std::map<std::pair<size_t, size_t>, std::vector<Timestamp>> anchor_cache;
+  // window position for their (e1, em) series pair. Window lists come
+  // from the shared per-query cache (or a run-local one), so surviving
+  // partials sharing a pair — the common case — pay one two-pointer
+  // scan total, and the two-phase engine sharing the query's cache
+  // reuses the very same lists. -----------------------------------------
+  SharedWindowCache local_cache(delta_);
+  SharedWindowCache* cache = cache_ != nullptr ? cache_ : &local_cache;
+  WindowListMru window_mru;  // fallback if the cache saturates
   for (const Partial& partial : frontier) {
-    const size_t first_pair = partial.slices.front().first;
-    const size_t last_pair = partial.slices.back().first;
-    auto key = std::make_pair(first_pair, last_pair);
-    auto it = anchor_cache.find(key);
-    if (it == anchor_cache.end()) {
-      std::vector<Window> windows = ComputeProcessedWindows(
-          graph_.pair(first_pair).series, graph_.pair(last_pair).series,
-          delta_);
-      std::vector<Timestamp> anchors;
-      anchors.reserve(windows.size());
-      for (const Window& w : windows) anchors.push_back(w.start);
-      it = anchor_cache.emplace(key, std::move(anchors)).first;
-    }
-    if (!std::binary_search(it->second.begin(), it->second.end(),
-                            partial.anchor)) {
+    const EdgeSeries& first_series =
+        graph_.pair(partial.slices.front().first).series;
+    const EdgeSeries& last_series =
+        graph_.pair(partial.slices.back().first).series;
+    const std::vector<Window>& windows =
+        window_mru.GetOrCompute(cache, first_series, last_series, delta_);
+    const auto window_at = std::partition_point(
+        windows.begin(), windows.end(), [&partial](const Window& w) {
+          return w.start < partial.anchor;
+        });
+    if (window_at == windows.end() || window_at->start != partial.anchor) {
       continue;
     }
 

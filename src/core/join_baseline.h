@@ -7,6 +7,7 @@
 #include "core/enumerator.h"
 #include "core/instance.h"
 #include "core/motif.h"
+#include "core/window_cursor.h"
 #include "graph/time_series_graph.h"
 
 namespace flowmotif {
@@ -18,18 +19,26 @@ namespace flowmotif {
 /// Step 1 materializes, for every edge (u, v) of GT, all "quintuples"
 /// (u, v, ts, te, f): contiguous interaction runs of duration <= delta
 /// with aggregated flow f (those failing phi are dropped — a run that
-/// fails phi cannot instantiate a motif edge). Step ell joins the
-/// sub-motif instances of the first ell edges with the quintuple table of
-/// edge ell+1 on the shared vertex, checking the time-order, duration,
-/// phi and vertex-binding predicates. Cycle-closing and repeated motif
-/// nodes are enforced through the bindings.
+/// fails phi cannot instantiate a motif edge). The per-anchor duration
+/// limit slides on one monotone galloping cursor per series (anchors
+/// ascend), and the resulting table is grouped by run start, so step
+/// ell's join probes binary-search the one group matching the canonical
+/// start instead of scanning the whole table. Step ell joins the
+/// sub-motif instances of the first ell edges with the quintuple table
+/// of edge ell+1 on the shared vertex, checking the time-order,
+/// duration, phi and vertex-binding predicates. Cycle-closing and
+/// repeated motif nodes are enforced through the bindings.
 ///
 /// Canonicality predicates (runs anchored right after the previous edge's
 /// split, last edge extended to the window end, window anchor novelty)
 /// make the final instance set *identical* to FlowMotifEnumerator's
-/// paper-faithful output — which the property tests verify. The cost
-/// profile is the paper's: a large number of intermediate sub-motif
-/// instances is produced and most never contribute to a final instance.
+/// paper-faithful output — which the property tests verify. The
+/// anchor-novelty window lists are served by a SharedWindowCache
+/// (injected per query, or a run-local one), shared with the two-phase
+/// paths so Fig. 8 comparisons measure the join strategy, not redundant
+/// window recomputation. The cost profile is the paper's: a large
+/// number of intermediate sub-motif instances is produced and most
+/// never contribute to a final instance.
 class JoinMotifEnumerator {
  public:
   /// Visitor over materialized instances; return false to stop.
@@ -42,12 +51,15 @@ class JoinMotifEnumerator {
     double seconds = 0.0;
   };
 
+  /// `window_cache` (optional) serves the anchor-novelty window lists;
+  /// it must outlive the enumerator and be bound to the same delta.
   JoinMotifEnumerator(const TimeSeriesGraph& graph, const Motif& motif,
-                      Timestamp delta, Flow phi);
+                      Timestamp delta, Flow phi,
+                      SharedWindowCache* window_cache = nullptr);
   // The enumerator keeps a reference to the graph: temporaries would
   // dangle.
-  JoinMotifEnumerator(TimeSeriesGraph&&, const Motif&, Timestamp, Flow) =
-      delete;
+  JoinMotifEnumerator(TimeSeriesGraph&&, const Motif&, Timestamp, Flow,
+                      SharedWindowCache* = nullptr) = delete;
 
   /// Runs the join pipeline. `visitor` may be null to count only.
   Result Run(const JoinVisitor& visitor = nullptr) const;
@@ -57,6 +69,7 @@ class JoinMotifEnumerator {
   const Motif motif_;
   Timestamp delta_;
   Flow phi_;
+  SharedWindowCache* cache_;  // null = one run-local cache per Run
 };
 
 }  // namespace flowmotif

@@ -4,21 +4,12 @@
 
 namespace flowmotif {
 
-namespace {
-
-/// anchor + delta, saturating at the maximum representable timestamp:
-/// an anchor near numeric_limits::max() with delta > 0 would otherwise
-/// be signed-overflow UB (the mirror of the min-sentinel underflow
-/// fixed in PR 2). Saturation keeps the semantics — a window clamped at
-/// the time axis's end simply cannot gain later elements.
-Timestamp WindowEnd(Timestamp anchor, Timestamp delta) {
+Timestamp WindowEndSaturating(Timestamp anchor, Timestamp delta) {
   return delta > 0 &&
                  anchor > std::numeric_limits<Timestamp>::max() - delta
              ? std::numeric_limits<Timestamp>::max()
              : anchor + delta;
 }
-
-}  // namespace
 
 std::vector<Window> ComputeProcessedWindows(const EdgeSeries& first,
                                             const EdgeSeries& last,
@@ -55,7 +46,7 @@ void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
     if (have_processed && anchor == prev_anchor) {
       continue;  // duplicate anchor timestamp
     }
-    const Timestamp end = WindowEnd(anchor, delta);
+    const Timestamp end = WindowEndSaturating(anchor, delta);
     if (have_processed) {
       while (cursor < last.size() && last.time(cursor) <= prev_end) ++cursor;
     } else {
@@ -80,7 +71,7 @@ std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
   for (size_t i = 0; i < first.size(); ++i) {
     const Timestamp anchor = first.time(i);
     if (have_prev && anchor == prev_anchor) continue;
-    windows.push_back(Window{anchor, WindowEnd(anchor, delta)});
+    windows.push_back(Window{anchor, WindowEndSaturating(anchor, delta)});
     prev_anchor = anchor;
     have_prev = true;
   }

@@ -19,6 +19,14 @@ struct Window {
   }
 };
 
+/// anchor + delta, saturating at the maximum representable timestamp:
+/// an anchor near numeric_limits::max() with delta > 0 would otherwise
+/// be signed-overflow UB (the mirror of the min-sentinel underflow
+/// fixed in PR 2). Saturation keeps the semantics — a window clamped at
+/// the time axis's end simply cannot gain later elements. Shared by the
+/// window scans below and the join baseline's duration filters.
+Timestamp WindowEndSaturating(Timestamp anchor, Timestamp delta);
+
 /// Computes the window positions Algorithm 1 actually processes for one
 /// structural match:
 ///

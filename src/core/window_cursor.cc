@@ -1,0 +1,177 @@
+#include "core/window_cursor.h"
+
+#include <functional>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+bool MotifHasInteriorNode(const Motif& motif) {
+  const auto [f_src, f_dst] = motif.edge(0);
+  const auto [l_src, l_dst] = motif.edge(motif.num_edges() - 1);
+  for (int node = 0; node < motif.num_nodes(); ++node) {
+    if (node != f_src && node != f_dst && node != l_src && node != l_dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void UnionTimeline::Build(const std::vector<const EdgeSeries*>& series,
+                          const WindowCursorSet& cursors) {
+  const size_t m = series.size();
+  times_.clear();
+  heads_.assign(cursors.lo_indices().begin(), cursors.lo_indices().end());
+  while (true) {
+    Timestamp next = 0;
+    bool any = false;
+    for (size_t k = 0; k < m; ++k) {
+      if (heads_[k] >= cursors.hi(k)) continue;
+      const Timestamp t = series[k]->time(heads_[k]);
+      if (!any || t < next) {
+        next = t;
+        any = true;
+      }
+    }
+    if (!any) break;
+    times_.push_back(next);
+    for (size_t k = 0; k < m; ++k) {
+      while (heads_[k] < cursors.hi(k) &&
+             series[k]->time(heads_[k]) == next) {
+        ++heads_[k];
+      }
+    }
+  }
+}
+
+void TimelineOffsets::Build(const std::vector<const EdgeSeries*>& series,
+                            const WindowCursorSet& cursors,
+                            const UnionTimeline& timeline) {
+  const size_t m = series.size();
+  tau_ = timeline.size();
+  lower_.resize(m * tau_);
+  upper_.resize(m * tau_);
+  for (size_t k = 0; k < m; ++k) {
+    const std::vector<Timestamp>& times = series[k]->times();
+    const size_t series_end = cursors.hi(k);
+    size_t lower = cursors.lo(k);
+    size_t upper = cursors.lo(k);
+    size_t* lower_row = lower_.data() + k * tau_;
+    size_t* upper_row = upper_.data() + k * tau_;
+    for (size_t i = 0; i < tau_; ++i) {
+      const Timestamp t = timeline[i];
+      while (lower < series_end && times[lower] < t) ++lower;
+      lower_row[i] = lower;
+      if (upper < lower) upper = lower;
+      while (upper < series_end && times[upper] <= t) ++upper;
+      upper_row[i] = upper;
+    }
+  }
+}
+
+const std::vector<Window>& WindowListMru::GetOrCompute(
+    SharedWindowCache* cache, const EdgeSeries& first,
+    const EdgeSeries& last, Timestamp delta) {
+  if (cache != nullptr) {
+    const std::vector<Window>* cached = cache->Get(first, last);
+    if (cached != nullptr) return *cached;
+  }
+  if (first_ == &first && last_ == &last) return windows_;
+  ComputeProcessedWindows(first, last, delta, &windows_);
+  first_ = &first;
+  last_ = &last;
+  return windows_;
+}
+
+namespace {
+
+/// Smallest power of two >= n (n <= 2^63).
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SharedWindowCache::SharedWindowCache(Timestamp delta, size_t max_entries)
+    : delta_(delta),
+      max_entries_(max_entries),
+      // Load factor <= 1 at saturation; the bucket array is fixed for
+      // the cache's lifetime, which is what keeps reads lock-free.
+      buckets_(NextPowerOfTwo(max_entries == 0 ? 1 : max_entries)) {
+  FLOWMOTIF_CHECK_GE(delta, 0);
+  for (std::atomic<Node*>& bucket : buckets_) {
+    bucket.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+SharedWindowCache::~SharedWindowCache() {
+  for (std::atomic<Node*>& bucket : buckets_) {
+    Node* node = bucket.load(std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+}
+
+size_t SharedWindowCache::BucketOf(const EdgeSeries* first,
+                                   const EdgeSeries* last) const {
+  const size_t h = std::hash<const void*>()(first);
+  const size_t mixed = h ^ (std::hash<const void*>()(last) + 0x9e3779b9u +
+                            (h << 6) + (h >> 2));
+  return mixed & (buckets_.size() - 1);
+}
+
+const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
+                                                  const EdgeSeries& last) {
+  std::atomic<Node*>& bucket = buckets_[BucketOf(&first, &last)];
+  Node* const head = bucket.load(std::memory_order_acquire);
+  for (Node* node = head; node != nullptr; node = node->next) {
+    if (node->first == &first && node->last == &last) return &node->windows;
+  }
+
+  // Miss: reserve a slot before building. The CAS loop (rather than a
+  // blind fetch_add with rollback) keeps `size()` <= max_entries even
+  // transiently, and once saturated every further miss costs one
+  // relaxed load — no contended RMW on the shared counter.
+  size_t reserved = size_.load(std::memory_order_relaxed);
+  while (true) {
+    if (reserved >= max_entries_) return nullptr;
+    if (size_.compare_exchange_weak(reserved, reserved + 1,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  Node* node = new Node{&first, &last,
+                        ComputeProcessedWindows(first, last, delta_),
+                        nullptr};
+  // CAS-insert at the bucket head. Insert-only means a failed CAS can
+  // only have been caused by new nodes prepended since the last load —
+  // re-scan just that prefix for a racing insert of the same key.
+  Node* scanned_until = head;
+  Node* expected = head;
+  while (true) {
+    node->next = expected;
+    if (bucket.compare_exchange_weak(expected, node,
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+      return &node->windows;
+    }
+    for (Node* other = expected; other != scanned_until;
+         other = other->next) {
+      if (other->first == &first && other->last == &last) {
+        delete node;
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return &other->windows;
+      }
+    }
+    scanned_until = expected;
+  }
+}
+
+}  // namespace flowmotif

@@ -1,0 +1,197 @@
+#ifndef FLOWMOTIF_CORE_WINDOW_CURSOR_H_
+#define FLOWMOTIF_CORE_WINDOW_CURSOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/motif.h"
+#include "core/sliding_window.h"
+#include "graph/edge_series.h"
+#include "graph/types.h"
+
+namespace flowmotif {
+
+/// Shared incremental-window machinery of the three per-window
+/// evaluation paths — the top-1 DP (core/dp.cc), the counting recursion
+/// (core/counter.cc), and the join baseline (core/join_baseline.cc).
+///
+/// A match's processed windows come out of ComputeProcessedWindows
+/// ordered by anchor, so both window bounds are non-decreasing across
+/// the sweep. Everything here leans on that monotonicity: cursors only
+/// ever advance (galloping, O(log gap) in the distance moved), so a
+/// full window sweep pays O(series length) total instead of one binary
+/// search per window — or, before PR 3/4, per recursion call.
+
+/// True iff some motif node is absent from the endpoints of the first
+/// and last motif edges. Only then can two distinct bindings share the
+/// same (first, last) series pair — otherwise the two series pointers
+/// pin every bound vertex and a window cache keyed on the pair could
+/// never hit.
+bool MotifHasInteriorNode(const Motif& motif);
+
+/// Per-series sliding cursors over one match's window sweep:
+/// lo[k] = LowerBound(window.start), hi[k] = UpperBound(window.end) of
+/// the current window on the k-th motif edge's series. Invariants: both
+/// are non-decreasing across a match's windows (starts and ends are
+/// sorted), and lo[k] <= hi[k] for every window.
+class WindowCursorSet {
+ public:
+  /// Binds the cursors to one match's resolved series and rewinds them
+  /// to the series fronts. `series` must outlive the next Reset.
+  void Reset(const std::vector<const EdgeSeries*>& series) {
+    series_ = &series;
+    lo_.assign(series.size(), 0);
+    hi_.assign(series.size(), 0);
+  }
+
+  /// Slides every cursor to `window`. Windows must be visited in
+  /// non-decreasing (start, end) order.
+  void AdvanceTo(const Window& window) {
+    const std::vector<const EdgeSeries*>& series = *series_;
+    for (size_t k = 0; k < series.size(); ++k) {
+      lo_[k] = series[k]->AdvanceLowerBound(lo_[k], window.start);
+      hi_[k] = series[k]->AdvanceUpperBound(hi_[k], window.end);
+    }
+  }
+
+  size_t lo(size_t k) const { return lo_[k]; }
+  size_t hi(size_t k) const { return hi_[k]; }
+  const std::vector<size_t>& lo_indices() const { return lo_; }
+  const std::vector<size_t>& hi_indices() const { return hi_; }
+  size_t num_series() const { return lo_.size(); }
+
+ private:
+  const std::vector<const EdgeSeries*>* series_ = nullptr;
+  std::vector<size_t> lo_;
+  std::vector<size_t> hi_;
+};
+
+/// Union timeline t1..t_tau of the current window: a k-way merge of the
+/// per-series sorted slices [lo, hi) into a reusable buffer (no
+/// push-all + sort + unique). The motif has a handful of edges, so the
+/// linear min-scan beats a heap.
+class UnionTimeline {
+ public:
+  void Build(const std::vector<const EdgeSeries*>& series,
+             const WindowCursorSet& cursors);
+
+  const std::vector<Timestamp>& times() const { return times_; }
+  size_t size() const { return times_.size(); }
+  Timestamp operator[](size_t i) const { return times_[i]; }
+
+ private:
+  std::vector<Timestamp> times_;
+  std::vector<size_t> heads_;  // k-way merge heads
+};
+
+/// Flat m x tau per-series timeline offsets, row stride tau:
+/// lower(k, i) / upper(k, i) are series k's LowerBound / UpperBound of
+/// timeline[i], filled by one monotone two-cursor sweep per row. They
+/// turn every flow([tj,ti],k) of Eq. 2 — and the DP traceback's
+/// edge-set ranges — into an O(1)
+/// FlowInIndexRange(lower(k,j), upper(k,i)) prefix subtraction.
+///
+/// The sweeps clamp at [lo, hi]: timeline entries lie inside
+/// [start, end], so the global bounds can never fall outside the cursor
+/// range.
+class TimelineOffsets {
+ public:
+  void Build(const std::vector<const EdgeSeries*>& series,
+             const WindowCursorSet& cursors, const UnionTimeline& timeline);
+
+  size_t lower(size_t k, size_t i) const { return lower_[k * tau_ + i]; }
+  size_t upper(size_t k, size_t i) const { return upper_[k * tau_ + i]; }
+  const size_t* lower_row(size_t k) const { return lower_.data() + k * tau_; }
+  const size_t* upper_row(size_t k) const { return upper_.data() + k * tau_; }
+
+ private:
+  std::vector<size_t> lower_;
+  std::vector<size_t> upper_;
+  size_t tau_ = 0;
+};
+
+class SharedWindowCache;
+
+/// One-entry most-recently-used window-list fallback for when no
+/// SharedWindowCache serves a pair (memoization gated off, cache
+/// saturated, or the pair declined). Matches arrive in runs sharing a
+/// (first, last) pair — the P1 DFS varies interior vertices innermost —
+/// so remembering the last computed list keeps those run-locality hits
+/// even without (or beyond) the shared cache. Not thread-safe: one per
+/// worker/scratch.
+class WindowListMru {
+ public:
+  /// Returns the processed-window list for (first, last): from `cache`
+  /// when available, else from this MRU slot (recomputing only when the
+  /// pair changed). The reference is valid until the next call.
+  const std::vector<Window>& GetOrCompute(SharedWindowCache* cache,
+                                          const EdgeSeries& first,
+                                          const EdgeSeries& last,
+                                          Timestamp delta);
+
+ private:
+  const EdgeSeries* first_ = nullptr;
+  const EdgeSeries* last_ = nullptr;
+  std::vector<Window> windows_;
+};
+
+/// Per-query shared cache of processed-window lists, keyed on the
+/// (first, last) EdgeSeries pointer pair — built once per pair and
+/// served to every evaluation path (DP, counter, enumerator, join) and
+/// every worker thread of the query.
+///
+/// Reads are lock-free: entries are immutable once published, inserted
+/// at bucket heads with a CAS, and never moved or freed until the cache
+/// is destroyed, so a reader's pointer stays valid for the cache's
+/// lifetime and lookups are plain acquire loads. The size cap saturates
+/// instead of evicting — eviction would invalidate pointers concurrent
+/// readers still hold; past the cap, Get returns nullptr and callers
+/// compute into their own buffer (correctness never depends on a hit).
+///
+/// Keying on pointers means a cache must never be shared across graphs
+/// whose lifetimes overlap the query's — create one cache per
+/// (graph, delta) query, as QueryEngine does.
+class SharedWindowCache {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
+  explicit SharedWindowCache(Timestamp delta,
+                             size_t max_entries = kDefaultMaxEntries);
+  ~SharedWindowCache();
+  SharedWindowCache(const SharedWindowCache&) = delete;
+  SharedWindowCache& operator=(const SharedWindowCache&) = delete;
+
+  /// Returns the processed-window list for (first, last), computing and
+  /// publishing it on first request. Returns nullptr when the cache is
+  /// saturated and the pair is absent. The returned pointer stays valid
+  /// until the cache is destroyed.
+  const std::vector<Window>* Get(const EdgeSeries& first,
+                                 const EdgeSeries& last);
+
+  Timestamp delta() const { return delta_; }
+  size_t max_entries() const { return max_entries_; }
+
+  /// Number of reserved entry slots (== published entries once all
+  /// in-flight inserts finish). Never exceeds max_entries().
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  struct Node {
+    const EdgeSeries* first;
+    const EdgeSeries* last;
+    std::vector<Window> windows;
+    Node* next;
+  };
+
+  size_t BucketOf(const EdgeSeries* first, const EdgeSeries* last) const;
+
+  const Timestamp delta_;
+  const size_t max_entries_;
+  std::vector<std::atomic<Node*>> buckets_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_WINDOW_CURSOR_H_

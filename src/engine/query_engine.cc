@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/counter.h"
+#include "core/window_cursor.h"
 #include "engine/batching.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -89,15 +90,18 @@ void ProcessTopKRun(const FlowMotifEnumerator& enumerator,
   total_stats->MergeFrom(stats);
 }
 
-/// Counts one contiguous run of matches.
+/// Counts one contiguous run of matches. The run-local window MRU
+/// keeps consecutive same-pair matches cheap even when the shared
+/// cache declines the pair (saturation or gated-off memoization).
 InstanceCounter::Result CountRun(const InstanceCounter& counter,
                                  const MatchBinding* begin,
                                  const MatchBinding* end, double* seconds) {
   InstanceCounter::Result counts;
   WallTimer timer;
+  WindowListMru window_mru;
   for (const MatchBinding* m = begin; m < end; ++m) {
     ++counts.num_structural_matches;
-    counts.num_instances += counter.CountMatch(*m, &counts);
+    counts.num_instances += counter.CountMatch(*m, &counts, &window_mru);
   }
   *seconds = timer.ElapsedSeconds();
   return counts;
@@ -116,11 +120,11 @@ void AccumulateCounts(const InstanceCounter::Result& counts, double seconds,
 
 /// Checkout pool of DP scratches for the kTop1 paths: a P2 batch
 /// borrows one for the duration of its RunOnMatches call, so a worker's
-/// successive batches reuse the same timeline/table buffers and the
-/// same per-query window memo instead of reallocating (and recomputing
-/// windows) per batch. Scratch contents never influence results — only
-/// where the buffers live — so the checkout order is free to vary with
-/// scheduling.
+/// successive batches reuse the same timeline/table buffers instead of
+/// reallocating per batch (window lists live in the per-query
+/// SharedWindowCache, shared by every worker). Scratch contents never
+/// influence results — only where the buffers live — so the checkout
+/// order is free to vary with scheduling.
 class DpScratchPool {
  public:
   std::unique_ptr<MaxFlowDpSearcher::Scratch> Acquire() {
@@ -267,8 +271,12 @@ void QueryEngine::RunEnumerate(const Motif& motif,
                                const std::vector<MatchBinding>& matches,
                                const QueryOptions& options, ThreadPool* pool,
                                QueryResult* result) const {
-  const FlowMotifEnumerator enumerator(graph_, motif,
-                                       ToEnumerationOptions(options));
+  // One shared window cache per query: every batch of every worker
+  // reads per-match window lists through it (lock-free once built).
+  SharedWindowCache window_cache(options.delta);
+  EnumerationOptions eopts = ToEnumerationOptions(options);
+  eopts.shared_window_cache = &window_cache;
+  const FlowMotifEnumerator enumerator(graph_, motif, eopts);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -319,7 +327,9 @@ void QueryEngine::RunCount(const Motif& motif,
                            const std::vector<MatchBinding>& matches,
                            const QueryOptions& options, ThreadPool* pool,
                            QueryResult* result) const {
-  const InstanceCounter counter(graph_, motif, options.delta, options.phi);
+  SharedWindowCache window_cache(options.delta);
+  const InstanceCounter counter(graph_, motif, options.delta, options.phi,
+                                &window_cache);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -353,10 +363,12 @@ void QueryEngine::RunTopK(const Motif& motif,
   // emissions (Observe), so it tightens before any single collector
   // fills and matches the serial searcher's pruning rate.
   SharedFlowThreshold shared(options.k);
+  SharedWindowCache window_cache(options.delta);
   EnumerationOptions eopts = ToEnumerationOptions(options);
   eopts.dynamic_min_flow_exclusive = [&shared]() {
     return shared.ExclusiveBound();
   };
+  eopts.shared_window_cache = &window_cache;
   const FlowMotifEnumerator enumerator(graph_, motif, eopts);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
@@ -385,7 +397,9 @@ void QueryEngine::RunTop1(const Motif& motif,
                           const std::vector<MatchBinding>& matches,
                           const QueryOptions& options, ThreadPool* pool,
                           QueryResult* result) const {
-  const MaxFlowDpSearcher searcher(graph_, motif, options.delta);
+  SharedWindowCache window_cache(options.delta);
+  const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
+                                   &window_cache);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -501,8 +515,10 @@ void QueryEngine::RunStreamed(const Motif& motif,
   switch (options.mode) {
     case QueryMode::kEnumerate: {
       FLOWMOTIF_CHECK_EQ(options.collect_limit, 0);
-      const FlowMotifEnumerator enumerator(graph_, motif,
-                                           ToEnumerationOptions(options));
+      SharedWindowCache window_cache(options.delta);
+      EnumerationOptions eopts = ToEnumerationOptions(options);
+      eopts.shared_window_cache = &window_cache;
+      const FlowMotifEnumerator enumerator(graph_, motif, eopts);
       std::mutex mu;
       // Counter-only enumeration: integer counters are sums, so merging
       // in completion order equals the serial merge.
@@ -519,8 +535,9 @@ void QueryEngine::RunStreamed(const Motif& motif,
       return;
     }
     case QueryMode::kCount: {
+      SharedWindowCache window_cache(options.delta);
       const InstanceCounter counter(graph_, motif, options.delta,
-                                    options.phi);
+                                    options.phi, &window_cache);
       std::mutex mu;
       const StreamStats stream = StreamTwoPhase(
           motif, options, pool,
@@ -538,10 +555,12 @@ void QueryEngine::RunStreamed(const Motif& motif,
     case QueryMode::kTopK: {
       FLOWMOTIF_CHECK_GE(options.k, 1);
       SharedFlowThreshold shared(options.k);
+      SharedWindowCache window_cache(options.delta);
       EnumerationOptions eopts = ToEnumerationOptions(options);
       eopts.dynamic_min_flow_exclusive = [&shared]() {
         return shared.ExclusiveBound();
       };
+      eopts.shared_window_cache = &window_cache;
       const FlowMotifEnumerator enumerator(graph_, motif, eopts);
       TopKCollector global(options.k);
       std::mutex mu;
@@ -558,7 +577,9 @@ void QueryEngine::RunStreamed(const Motif& motif,
       return;
     }
     case QueryMode::kTop1: {
-      const MaxFlowDpSearcher searcher(graph_, motif, options.delta);
+      SharedWindowCache window_cache(options.delta);
+      const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
+                                       &window_cache);
       std::mutex mu;
       std::vector<std::pair<int64_t, MaxFlowDpSearcher::Result>> outputs;
       DpScratchPool scratch_pool;

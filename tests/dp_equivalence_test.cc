@@ -395,8 +395,8 @@ TEST(DpEquivalenceTest, EngineTop1MatchesReferenceAcrossThreads) {
 TEST(DpEquivalenceTest, ScratchReuseAcrossMatchRangesIsIdentical) {
   // One shared Scratch across many RunOnMatches calls (the engine's
   // batch pattern) vs fresh scratches: identical results. M(3,3) has no
-  // interior node, so this also pins the memo-off path: the cache must
-  // stay empty.
+  // interior node, so this also pins the memo-off path: the searcher
+  // must not own a window cache at all.
   const TimeSeriesGraph graph = RandomGraph(33, 6, 90, 50);
   const Motif motif = *MotifCatalog::ByName("M(3,3)");
   const StructuralMatcher matcher(graph, motif);
@@ -419,8 +419,8 @@ TEST(DpEquivalenceTest, ScratchReuseAcrossMatchRangesIsIdentical) {
                        "right split=" + std::to_string(split));
     if (testing::Test::HasFailure()) return;
   }
-  EXPECT_TRUE(shared.window_cache.empty())
-      << "M(3,3) has no interior node; the window memo must stay off";
+  EXPECT_EQ(searcher.window_cache(), nullptr)
+      << "M(3,3) has no interior node; the window cache must stay off";
 }
 
 /// Complete-bipartite layers L0 -> L1 -> ... with one interaction per
@@ -446,37 +446,49 @@ TimeSeriesGraph LayeredGraph(const std::vector<int>& layer_sizes) {
   return TimeSeriesGraph::Build(g);
 }
 
-TEST(DpEquivalenceTest, WindowMemoHitsAndEvictionStayIdentical) {
-  // M(5,4) (path 0-1-2-3-4) has an interior node, so the window memo is
-  // live. The layered graph yields 6*6*2*6*6 = 2592 matches over
+TEST(DpEquivalenceTest, WindowCacheHitsAndSaturationStayIdentical) {
+  // M(5,4) (path 0-1-2-3-4) has an interior node, so the window cache
+  // is live. The layered graph yields 6*6*2*6*6 = 2592 matches over
   // 36*36 = 1296 distinct (first, last) series pairs: more than the
-  // 1024-entry cap, so the eviction (clear-when-full) branch runs, each
-  // pair repeats (|L2| = 2 interior choices), so hits happen, and a
-  // shared Scratch carries the memo across chunked RunOnMatches calls.
+  // 1024-entry default cap, so the saturation branch (Get -> nullptr,
+  // caller computes locally) runs; each pair repeats (|L2| = 2 interior
+  // choices), so hits happen, and the same injected cache carries
+  // across chunked RunOnMatches calls and across searchers.
   const TimeSeriesGraph graph = LayeredGraph({6, 6, 2, 6, 6});
   const Motif motif = *MotifCatalog::ByName("M(5,4)");
   const StructuralMatcher matcher(graph, motif);
   const std::vector<MatchBinding> matches = matcher.FindAllMatches();
   ASSERT_EQ(matches.size(), 2592u);
-  const MaxFlowDpSearcher searcher(graph, motif, 40);
 
   const MaxFlowDpSearcher::Result expected =
       ReferenceRunOnMatches(graph, motif, 40, matches);
   ASSERT_TRUE(expected.found);
+
+  SharedWindowCache cache(/*delta=*/40);
+  const MaxFlowDpSearcher searcher(graph, motif, 40, &cache);
+  ASSERT_EQ(searcher.window_cache(), &cache);
 
   MaxFlowDpSearcher::Scratch shared;
   ExpectResultsEqual(
       searcher.RunOnMatches(matches.data(),
                             matches.data() + matches.size(), &shared),
       expected, "shared pass 1");
-  // Second full pass reuses whatever the (possibly evicted) memo holds.
+  // Second full pass reads the warm (saturated) cache.
   ExpectResultsEqual(
       searcher.RunOnMatches(matches.data(),
                             matches.data() + matches.size(), &shared),
-      expected, "shared pass 2 (warm memo)");
-  // The cap must have bounded the cache below the 1296 distinct pairs.
-  EXPECT_GT(shared.window_cache.size(), 0u);
-  EXPECT_LE(shared.window_cache.size(), 1024u);
+      expected, "shared pass 2 (warm cache)");
+  // The cap must have saturated the cache below the 1296 distinct
+  // pairs, and saturation must never evict (pointers stay valid).
+  EXPECT_EQ(cache.size(), cache.max_entries());
+
+  // A drastically smaller cap — almost every lookup falls back to the
+  // local buffer — still yields identical results.
+  SharedWindowCache tiny_cache(/*delta=*/40, /*max_entries=*/16);
+  const MaxFlowDpSearcher tiny_searcher(graph, motif, 40, &tiny_cache);
+  ExpectResultsEqual(tiny_searcher.RunOnMatches(matches), expected,
+                     "tiny cache");
+  EXPECT_LE(tiny_cache.size(), 16u);
 
   // Chunked calls on the same Scratch vs fresh scratches per chunk.
   constexpr size_t kChunk = 500;

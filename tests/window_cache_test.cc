@@ -1,0 +1,227 @@
+// Property tests of core/window_cursor.h's SharedWindowCache: lists
+// served from the cache are identical to uncached ComputeProcessedWindows
+// results under concurrent readers (threads {2, 4, 8}), racing inserts
+// of the same pair deduplicate to one stable pointer, and the size cap
+// saturates — Get declines new pairs without ever evicting one a
+// reader may still hold.
+#include "core/window_cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "core/sliding_window.h"
+#include "graph/time_series_graph.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace flowmotif {
+namespace {
+
+/// Random graph with enough distinct pair edges to exercise many cache
+/// keys.
+TimeSeriesGraph RandomGraph(uint64_t seed, int num_vertices,
+                            int num_interactions, Timestamp time_span) {
+  Rng rng(seed);
+  InteractionGraph g;
+  for (int i = 0; i < num_interactions; ++i) {
+    const auto src = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    auto dst = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    if (dst == src) dst = (dst + 1) % num_vertices;
+    const auto t = static_cast<Timestamp>(
+        rng.NextBounded(static_cast<uint64_t>(time_span)));
+    const Flow f = 1.0 + static_cast<Flow>(rng.NextBounded(5));
+    const Status s = g.AddEdge(src, dst, t, f);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return TimeSeriesGraph::Build(g);
+}
+
+/// Every ordered pair of distinct pair-edge series in the graph — the
+/// key population the evaluation paths present to the cache.
+std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> AllSeriesPairs(
+    const TimeSeriesGraph& graph) {
+  std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs;
+  for (int64_t a = 0; a < graph.num_pairs(); ++a) {
+    for (int64_t b = 0; b < graph.num_pairs(); ++b) {
+      pairs.emplace_back(&graph.pair(static_cast<size_t>(a)).series,
+                         &graph.pair(static_cast<size_t>(b)).series);
+    }
+  }
+  return pairs;
+}
+
+TEST(SharedWindowCacheTest, ServesExactWindowLists) {
+  const TimeSeriesGraph graph = RandomGraph(11, 5, 70, 40);
+  for (const Timestamp delta : {Timestamp{0}, Timestamp{5}, Timestamp{20}}) {
+    SharedWindowCache cache(delta);
+    for (const auto& [first, last] : AllSeriesPairs(graph)) {
+      const std::vector<Window>* cached = cache.Get(*first, *last);
+      ASSERT_NE(cached, nullptr);
+      EXPECT_EQ(*cached, ComputeProcessedWindows(*first, *last, delta));
+      // A second lookup returns the very same published list.
+      EXPECT_EQ(cache.Get(*first, *last), cached);
+    }
+  }
+}
+
+TEST(SharedWindowCacheTest, ConcurrentReadersSeeIdenticalLists) {
+  // Many threads hammer the same key population — every thread races
+  // both the builds and the reads — and each must observe exactly the
+  // uncached result for every pair, every time.
+  const TimeSeriesGraph graph = RandomGraph(23, 6, 90, 50);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 8;
+
+  std::vector<std::vector<Window>> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    expected.push_back(ComputeProcessedWindows(*first, *last, kDelta));
+  }
+
+  for (int num_threads : {2, 4, 8}) {
+    SharedWindowCache cache(kDelta);
+    std::atomic<int64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      // Each thread starts at a different offset so builds and reads of
+      // the same pair interleave across threads.
+      threads.emplace_back([&, t] {
+        const size_t n = pairs.size();
+        for (int round = 0; round < 3; ++round) {
+          for (size_t i = 0; i < n; ++i) {
+            const size_t at = (i + static_cast<size_t>(t) * n /
+                                       static_cast<size_t>(num_threads)) %
+                              n;
+            const std::vector<Window>* got =
+                cache.Get(*pairs[at].first, *pairs[at].second);
+            if (got == nullptr || *got != expected[at]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0) << "threads=" << num_threads;
+    EXPECT_EQ(cache.size(), pairs.size()) << "threads=" << num_threads;
+  }
+}
+
+TEST(SharedWindowCacheTest, RacingInsertsDeduplicateToOnePointer) {
+  // All threads request the same single pair; whoever loses the CAS
+  // race must adopt the winner's list, so every thread ends up with the
+  // one published pointer and the size counter settles at 1.
+  const TimeSeriesGraph graph = RandomGraph(31, 4, 50, 30);
+  const EdgeSeries& first = graph.pair(0).series;
+  const EdgeSeries& last =
+      graph.pair(static_cast<size_t>(graph.num_pairs()) - 1).series;
+
+  for (int num_threads : {2, 4, 8}) {
+    SharedWindowCache cache(/*delta=*/10);
+    std::vector<const std::vector<Window>*> seen(
+        static_cast<size_t>(num_threads), nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back(
+          [&, t] { seen[static_cast<size_t>(t)] = cache.Get(first, last); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (int t = 0; t < num_threads; ++t) {
+      ASSERT_NE(seen[static_cast<size_t>(t)], nullptr);
+      EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(*seen[0], ComputeProcessedWindows(first, last, 10));
+  }
+}
+
+TEST(SharedWindowCacheTest, SizeCapSaturatesWithoutEvicting) {
+  const TimeSeriesGraph graph = RandomGraph(47, 6, 80, 40);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr size_t kCap = 4;
+  ASSERT_GT(pairs.size(), kCap);
+
+  SharedWindowCache cache(/*delta=*/6, kCap);
+  // The first kCap distinct pairs publish; remember their pointers.
+  std::vector<const std::vector<Window>*> published;
+  for (size_t i = 0; i < kCap; ++i) {
+    const std::vector<Window>* got =
+        cache.Get(*pairs[i].first, *pairs[i].second);
+    ASSERT_NE(got, nullptr);
+    published.push_back(got);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+
+  // Every further pair is declined — never published, never evicting.
+  for (size_t i = kCap; i < pairs.size(); ++i) {
+    EXPECT_EQ(cache.Get(*pairs[i].first, *pairs[i].second), nullptr);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+
+  // The original entries survive saturation, at their original
+  // addresses, with their original contents.
+  for (size_t i = 0; i < kCap; ++i) {
+    const std::vector<Window>* got =
+        cache.Get(*pairs[i].first, *pairs[i].second);
+    EXPECT_EQ(got, published[i]);
+    EXPECT_EQ(*got,
+              ComputeProcessedWindows(*pairs[i].first, *pairs[i].second, 6));
+  }
+}
+
+TEST(SharedWindowCacheTest, ConcurrentReadersUnderTinyCap) {
+  // Saturation under concurrency: whatever subset wins the slots, every
+  // non-null answer must still be exact and the size must respect the
+  // cap at all times.
+  const TimeSeriesGraph graph = RandomGraph(53, 6, 90, 50);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 12;
+  constexpr size_t kCap = 3;
+
+  std::vector<std::vector<Window>> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    expected.push_back(ComputeProcessedWindows(*first, *last, kDelta));
+  }
+
+  for (int num_threads : {2, 4, 8}) {
+    SharedWindowCache cache(kDelta, kCap);
+    std::atomic<int64_t> mismatches{0};
+    std::atomic<int64_t> cap_violations{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        const size_t n = pairs.size();
+        for (size_t i = 0; i < 2 * n; ++i) {
+          const size_t at = (i * 31 + static_cast<size_t>(t) * 7) % n;
+          const std::vector<Window>* got =
+              cache.Get(*pairs[at].first, *pairs[at].second);
+          if (got != nullptr && *got != expected[at]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (cache.size() > kCap) {
+            cap_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0) << "threads=" << num_threads;
+    EXPECT_EQ(cap_violations.load(), 0) << "threads=" << num_threads;
+    EXPECT_LE(cache.size(), kCap);
+    EXPECT_GT(cache.size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flowmotif

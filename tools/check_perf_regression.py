@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fails when a benchmark regresses past a threshold vs the committed baseline.
+
+Usage:
+    check_perf_regression.py --baseline BENCH_baseline.json \
+        --current bench_dp_window.json [--max-regression 0.25]
+
+Compares `real_time` per benchmark name (single-thread entries only)
+against the baseline. A benchmark is a regression when
+
+    current_real_time > baseline_real_time * (1 + max_regression)
+
+Benchmarks present on only one side are reported but never fail the
+check: the baseline is a trajectory, and new benchmarks join it by
+having their first measured point committed.
+
+The committed baseline predates the incremental-cursor rewrites (PR 3
+for the DP, PR 4 for the counter/join), so today's code sits far below
+it; the threshold exists to catch a rewrite that quietly gives those
+wins back. Cross-machine noise between the reference container and CI
+runners is real — that is why the threshold is a generous 25% and the
+gate compares against the slow pre-rewrite numbers rather than a
+same-machine previous run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions)
+        # and anything multi-threaded: the gate tracks single-thread time.
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("threads", 1) != 1:
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fractional slowdown allowed (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    for name, cur in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW       {name}: {cur:.3f} (no baseline entry)")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "OK"
+        if cur > base * (1.0 + args.max_regression):
+            status = "REGRESSED"
+            regressions.append((name, base, cur, ratio))
+        print(f"{status:9} {name}: baseline={base:.3f} current={cur:.3f} "
+              f"ratio={ratio:.2f}x")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"MISSING   {name}: in baseline but not measured")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%} vs the committed baseline:")
+        for name, base, cur, ratio in regressions:
+            print(f"  {name}: {base:.3f} -> {cur:.3f} ({ratio:.2f}x)")
+        return 1
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
