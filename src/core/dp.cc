@@ -13,19 +13,7 @@ MaxFlowDpSearcher::MaxFlowDpSearcher(const TimeSeriesGraph& graph,
                                      SharedWindowCache* window_cache)
     : graph_(graph), motif_(motif), delta_(delta) {
   FLOWMOTIF_CHECK_GE(delta, 0);
-  if (!MotifHasInteriorNode(motif)) {
-    // Without an interior node the (first, last) series pin the whole
-    // binding, so a pair never repeats and caching could never hit —
-    // even an injected cache would be pure insert traffic.
-    cache_ = nullptr;
-  } else if (window_cache != nullptr) {
-    FLOWMOTIF_CHECK_EQ(window_cache->delta(), delta)
-        << "shared window cache bound to a different delta";
-    cache_ = window_cache;
-  } else {
-    owned_cache_ = std::make_unique<SharedWindowCache>(delta);
-    cache_ = owned_cache_.get();
-  }
+  cache_ = ResolveWindowCache(window_cache, motif, delta, &owned_cache_);
 }
 
 void MaxFlowDpSearcher::CheckScratch(Scratch* scratch) const {

@@ -59,19 +59,8 @@ FlowMotifEnumerator::FlowMotifEnumerator(const TimeSeriesGraph& graph,
     : graph_(graph), motif_(motif), options_(options) {
   FLOWMOTIF_CHECK_GE(options.delta, 0) << "delta must be non-negative";
   FLOWMOTIF_CHECK_GE(options.phi, 0.0) << "phi must be non-negative";
-  if (!MotifHasInteriorNode(motif)) {
-    // Without an interior node the (first, last) series pin the whole
-    // binding, so a pair never repeats and caching could never hit —
-    // even an injected cache would be pure insert traffic.
-    cache_ = nullptr;
-  } else if (options.shared_window_cache != nullptr) {
-    FLOWMOTIF_CHECK_EQ(options.shared_window_cache->delta(), options.delta)
-        << "shared window cache bound to a different delta";
-    cache_ = options.shared_window_cache;
-  } else {
-    owned_cache_ = std::make_unique<SharedWindowCache>(options.delta);
-    cache_ = owned_cache_.get();
-  }
+  cache_ = ResolveWindowCache(options.shared_window_cache, motif,
+                              options.delta, &owned_cache_);
 }
 
 bool FlowMotifEnumerator::PassesFlowBound(Flow flow) const {

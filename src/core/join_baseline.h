@@ -34,7 +34,8 @@ namespace flowmotif {
 /// make the final instance set *identical* to FlowMotifEnumerator's
 /// paper-faithful output — which the property tests verify. The
 /// anchor-novelty window lists are served by a SharedWindowCache
-/// (injected per query, or a run-local one), shared with the two-phase
+/// (injected per query, or a run-local one; keyed on timestamp-storage
+/// identity like every cache consumer), shared with the two-phase
 /// paths so Fig. 8 comparisons measure the join strategy, not redundant
 /// window recomputation. The cost profile is the paper's: a large
 /// number of intermediate sub-motif instances is produced and most

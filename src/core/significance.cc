@@ -8,45 +8,106 @@
 
 namespace flowmotif {
 
+namespace {
+
+/// Cap of the per-Analyze cross-graph window cache. Every entry is hit
+/// N+1 times across the ensemble (and once per motif in AnalyzeAll), so
+/// a larger cap than the per-query default pays for itself; memory stays
+/// bounded at max_entries window lists.
+constexpr size_t kEnsembleCacheEntries = 4096;
+
+}  // namespace
+
 SignificanceAnalyzer::SignificanceAnalyzer(const TimeSeriesGraph& graph,
                                            const Options& options)
     : graph_(graph), options_(options) {
   FLOWMOTIF_CHECK_GT(options.num_random_graphs, 0);
 }
 
-SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
-    const Motif& motif) const {
-  MotifReport report;
-  report.motif_name = motif.name();
+std::vector<TimeSeriesGraph> SignificanceAnalyzer::GeneratePermutedViews()
+    const {
+  // The RNG stream is keyed on the seed only and consumed serially, so
+  // view i is the same graph regardless of pool size, motif set, or
+  // which motif is analyzed first — as in the paper, one set of
+  // randomized datasets serves all motifs. Views share the real graph's
+  // timestamp/topology storage and own only permuted flow arrays, so
+  // holding the whole ensemble costs N flow/prefix arrays, not N graph
+  // copies.
+  Rng rng(options_.seed);
+  std::vector<TimeSeriesGraph> views;
+  views.reserve(static_cast<size_t>(options_.num_random_graphs));
+  for (int i = 0; i < options_.num_random_graphs; ++i) {
+    views.push_back(graph_.WithPermutedFlows(&rng));
+  }
+  return views;
+}
 
-  EnumerationOptions enum_options;
-  enum_options.delta = options_.delta;
-  enum_options.phi = options_.phi;
+SignificanceAnalyzer::PreparedMotif SignificanceAnalyzer::Prepare(
+    const Motif& motif, SharedWindowCache* cache) const {
+  PreparedMotif prepared;
+  prepared.enum_options.delta = options_.delta;
+  prepared.enum_options.phi = options_.phi;
+  // One cross-graph cache for the whole ensemble: the views share the
+  // real graph's timestamp storage, and the cache keys on that identity,
+  // so a window list computed for any task is a hit for every other —
+  // per-permutation window work drops to (almost) zero.
+  prepared.enum_options.shared_window_cache = cache;
 
   // Structural matches are flow-independent: compute once on the real
   // graph and reuse on every permutation (Sec. 6.3 observes that all
   // structural matches of G also appear in Gr). The parallel work-unit
   // path merges deterministically, so the reused list is identical for
   // any pool size.
-  std::vector<MatchBinding> matches;
   if (options_.reuse_matches) {
     const StructuralMatcher matcher(graph_, motif);
-    matches = options_.pool != nullptr
-                  ? matcher.FindAllMatchesParallel(options_.pool)
-                  : matcher.FindAllMatches();
+    prepared.matches = options_.pool != nullptr
+                           ? matcher.FindAllMatchesParallel(options_.pool)
+                           : matcher.FindAllMatches();
   }
+  return prepared;
+}
 
-  // The RNG stream is keyed on the seed only, so randomized graph i is
-  // the same regardless of which motif is analyzed — as in the paper,
-  // one set of randomized datasets serves all motifs. Generation stays
-  // serial even with a pool: each permutation advances the shared
-  // stream, and keeping it sequential guarantees thread-count-
-  // independent graphs. Only the counting (the expensive part)
-  // parallelizes, over the real graph plus every randomized one.
-  //
-  // Counting proceeds in waves of pool-width many graphs so that at
-  // most one wave of graph copies is alive at a time — the serial path
-  // (wave width 1) keeps the one-graph-at-a-time memory profile.
+int64_t SignificanceAnalyzer::CountOn(const TimeSeriesGraph& target,
+                                      const Motif& motif,
+                                      const PreparedMotif& prepared) const {
+  FlowMotifEnumerator enumerator(target, motif, prepared.enum_options);
+  const EnumerationResult r = options_.reuse_matches
+                                  ? enumerator.RunOnMatches(prepared.matches)
+                                  : enumerator.Run();
+  return r.num_instances;
+}
+
+SignificanceAnalyzer::MotifReport SignificanceAnalyzer::BuildReport(
+    const Motif& motif, const std::vector<int64_t>& counts) const {
+  MotifReport report;
+  report.motif_name = motif.name();
+  report.real_count = counts[0];
+  report.random_counts.reserve(counts.size() - 1);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    report.random_counts.push_back(static_cast<double>(counts[i]));
+  }
+  report.random_summary = Summarize(report.random_counts);
+  report.z_score =
+      ZScore(static_cast<double>(report.real_count), report.random_counts);
+  report.p_value = EmpiricalPValue(static_cast<double>(report.real_count),
+                                   report.random_counts);
+  return report;
+}
+
+SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
+    const Motif& motif) const {
+  SharedWindowCache cache(options_.delta, kEnsembleCacheEntries,
+                          /*cross_graph=*/true);
+  const PreparedMotif prepared = Prepare(motif, &cache);
+
+  // Counting proceeds in waves of pool-width many views so that at most
+  // one wave of flow arrays is alive at a time — the serial path (wave
+  // width 1) keeps the one-view-at-a-time memory profile. The views are
+  // still drawn serially from the single seeded stream, in wave order,
+  // so view i is identical for every wave width — and identical to
+  // AnalyzeAll's hoisted ensemble. The cache persists across waves: its
+  // timestamp-identity keys outlive the views (the real graph owns the
+  // storage), so later waves inherit every window list already built.
   Rng rng(options_.seed);
   const int64_t num_tasks = options_.num_random_graphs + 1;  // 0 = real
   const int64_t wave_width =
@@ -56,24 +117,19 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
   std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
   for (int64_t wave_first = 0; wave_first < num_tasks;
        wave_first += wave_width) {
-    const int64_t wave_limit =
-        std::min(num_tasks, wave_first + wave_width);
+    const int64_t wave_limit = std::min(num_tasks, wave_first + wave_width);
     const int64_t first_random = std::max<int64_t>(1, wave_first);
-    std::vector<TimeSeriesGraph> wave_graphs;
-    wave_graphs.reserve(static_cast<size_t>(wave_limit - first_random));
+    std::vector<TimeSeriesGraph> wave_views;
+    wave_views.reserve(static_cast<size_t>(wave_limit - first_random));
     for (int64_t t = first_random; t < wave_limit; ++t) {
-      wave_graphs.push_back(graph_.WithPermutedFlows(&rng));
+      wave_views.push_back(graph_.WithPermutedFlows(&rng));
     }
     const auto count_one = [&](int64_t offset) {
       const int64_t task = wave_first + offset;
       const TimeSeriesGraph& target =
           task == 0 ? graph_
-                    : wave_graphs[static_cast<size_t>(task - first_random)];
-      FlowMotifEnumerator enumerator(target, motif, enum_options);
-      const EnumerationResult r = options_.reuse_matches
-                                      ? enumerator.RunOnMatches(matches)
-                                      : enumerator.Run();
-      counts[static_cast<size_t>(task)] = r.num_instances;
+                    : wave_views[static_cast<size_t>(task - first_random)];
+      counts[static_cast<size_t>(task)] = CountOn(target, motif, prepared);
     };
     if (options_.pool != nullptr) {
       options_.pool->ParallelFor(wave_limit - wave_first, count_one);
@@ -83,28 +139,39 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
       }
     }
   }
-
-  report.real_count = counts[0];
-  report.random_counts.reserve(static_cast<size_t>(num_tasks - 1));
-  for (int64_t i = 1; i < num_tasks; ++i) {
-    report.random_counts.push_back(
-        static_cast<double>(counts[static_cast<size_t>(i)]));
-  }
-
-  report.random_summary = Summarize(report.random_counts);
-  report.z_score =
-      ZScore(static_cast<double>(report.real_count), report.random_counts);
-  report.p_value = EmpiricalPValue(static_cast<double>(report.real_count),
-                                   report.random_counts);
-  return report;
+  return BuildReport(motif, counts);
 }
 
 std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
     const std::vector<Motif>& motifs) const {
+  // One ensemble and one warm window cache serve every motif: Analyze
+  // would redraw the identical views per motif (same seed, same serial
+  // stream), so hoisting changes no report — it only removes the
+  // N-permutations-per-motif regeneration and keeps the cache warm
+  // across motifs (window lists depend on the series pair and delta,
+  // not on the motif shape). Holding the whole ensemble costs N flow
+  // arrays — the price of the paper's one-set-of-randomized-datasets
+  // setup; single-motif Analyze stays wave-bounded instead.
+  const std::vector<TimeSeriesGraph> views = GeneratePermutedViews();
+  SharedWindowCache cache(options_.delta, kEnsembleCacheEntries,
+                          /*cross_graph=*/true);
   std::vector<MotifReport> reports;
   reports.reserve(motifs.size());
   for (const Motif& motif : motifs) {
-    reports.push_back(Analyze(motif));
+    const PreparedMotif prepared = Prepare(motif, &cache);
+    const int64_t num_tasks = static_cast<int64_t>(views.size()) + 1;
+    std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
+    const auto count_one = [&](int64_t task) {
+      const TimeSeriesGraph& target =
+          task == 0 ? graph_ : views[static_cast<size_t>(task - 1)];
+      counts[static_cast<size_t>(task)] = CountOn(target, motif, prepared);
+    };
+    if (options_.pool != nullptr) {
+      options_.pool->ParallelFor(num_tasks, count_one);
+    } else {
+      for (int64_t task = 0; task < num_tasks; ++task) count_one(task);
+    }
+    reports.push_back(BuildReport(motif, counts));
   }
   return reports;
 }

@@ -17,6 +17,33 @@ bool MotifHasInteriorNode(const Motif& motif) {
   return false;
 }
 
+bool ShouldUseWindowCache(const SharedWindowCache* cache,
+                          const Motif& motif) {
+  return cache != nullptr &&
+         (cache->cross_graph() || MotifHasInteriorNode(motif));
+}
+
+SharedWindowCache* ResolveWindowCache(
+    SharedWindowCache* injected, const Motif& motif, Timestamp delta,
+    std::unique_ptr<SharedWindowCache>* owned) {
+  if (ShouldUseWindowCache(injected, motif)) {
+    // Injected cache: read when pairs repeat within one graph (interior
+    // node) or when the cache is cross-graph (a permutation ensemble
+    // re-presents every pair once per view).
+    FLOWMOTIF_CHECK_EQ(injected->delta(), delta)
+        << "shared window cache bound to a different delta";
+    return injected;
+  }
+  if (MotifHasInteriorNode(motif)) {
+    *owned = std::make_unique<SharedWindowCache>(delta);
+    return owned->get();
+  }
+  // Without an interior node the (first, last) series pin the whole
+  // binding, so within one graph a pair never repeats and caching could
+  // never hit — pure insert traffic.
+  return nullptr;
+}
+
 void UnionTimeline::Build(const std::vector<const EdgeSeries*>& series,
                           const WindowCursorSet& cursors) {
   const size_t m = series.size();
@@ -76,10 +103,13 @@ const std::vector<Window>& WindowListMru::GetOrCompute(
     const std::vector<Window>* cached = cache->Get(first, last);
     if (cached != nullptr) return *cached;
   }
-  if (first_ == &first && last_ == &last) return windows_;
+  if (first_id_ == first.timestamp_identity() &&
+      last_id_ == last.timestamp_identity()) {
+    return windows_;
+  }
   ComputeProcessedWindows(first, last, delta, &windows_);
-  first_ = &first;
-  last_ = &last;
+  first_id_ = first.timestamp_identity();
+  last_id_ = last.timestamp_identity();
   return windows_;
 }
 
@@ -94,9 +124,11 @@ size_t NextPowerOfTwo(size_t n) {
 
 }  // namespace
 
-SharedWindowCache::SharedWindowCache(Timestamp delta, size_t max_entries)
+SharedWindowCache::SharedWindowCache(Timestamp delta, size_t max_entries,
+                                     bool cross_graph)
     : delta_(delta),
       max_entries_(max_entries),
+      cross_graph_(cross_graph),
       // Load factor <= 1 at saturation; the bucket array is fixed for
       // the cache's lifetime, which is what keeps reads lock-free.
       buckets_(NextPowerOfTwo(max_entries == 0 ? 1 : max_entries)) {
@@ -117,20 +149,26 @@ SharedWindowCache::~SharedWindowCache() {
   }
 }
 
-size_t SharedWindowCache::BucketOf(const EdgeSeries* first,
-                                   const EdgeSeries* last) const {
-  const size_t h = std::hash<const void*>()(first);
-  const size_t mixed = h ^ (std::hash<const void*>()(last) + 0x9e3779b9u +
+size_t SharedWindowCache::BucketOf(const void* first_id,
+                                   const void* last_id) const {
+  const size_t h = std::hash<const void*>()(first_id);
+  const size_t mixed = h ^ (std::hash<const void*>()(last_id) + 0x9e3779b9u +
                             (h << 6) + (h >> 2));
   return mixed & (buckets_.size() - 1);
 }
 
 const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
                                                   const EdgeSeries& last) {
-  std::atomic<Node*>& bucket = buckets_[BucketOf(&first, &last)];
+  // The key is the timestamp-storage identity, not the series address:
+  // a flow-permuted view hits the entry its source series published.
+  const void* const first_id = first.timestamp_identity();
+  const void* const last_id = last.timestamp_identity();
+  std::atomic<Node*>& bucket = buckets_[BucketOf(first_id, last_id)];
   Node* const head = bucket.load(std::memory_order_acquire);
   for (Node* node = head; node != nullptr; node = node->next) {
-    if (node->first == &first && node->last == &last) return &node->windows;
+    if (node->first_id == first_id && node->last_id == last_id) {
+      return &node->windows;
+    }
   }
 
   // Miss: reserve a slot before building. The CAS loop (rather than a
@@ -147,7 +185,7 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
     }
   }
 
-  Node* node = new Node{&first, &last,
+  Node* node = new Node{first_id, last_id,
                         ComputeProcessedWindows(first, last, delta_),
                         nullptr};
   // CAS-insert at the bucket head. Insert-only means a failed CAS can
@@ -164,7 +202,7 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
     }
     for (Node* other = expected; other != scanned_until;
          other = other->next) {
-      if (other->first == &first && other->last == &last) {
+      if (other->first_id == first_id && other->last_id == last_id) {
         delete node;
         size_.fetch_sub(1, std::memory_order_acq_rel);
         return &other->windows;

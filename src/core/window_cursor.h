@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/motif.h"
@@ -27,8 +28,28 @@ namespace flowmotif {
 /// and last motif edges. Only then can two distinct bindings share the
 /// same (first, last) series pair — otherwise the two series pointers
 /// pin every bound vertex and a window cache keyed on the pair could
-/// never hit.
+/// never hit within one graph.
 bool MotifHasInteriorNode(const Motif& motif);
+
+class SharedWindowCache;
+
+/// True when window memoization can pay off for this (cache, motif)
+/// combination: the motif has an interior node (so a (first, last) pair
+/// repeats across matches of one graph), or the cache is declared
+/// cross-graph (the significance ensemble re-presents every pair once
+/// per flow-permuted view, so even a pair that is unique within one
+/// graph is requested N+1 times under the same timestamp-identity key).
+bool ShouldUseWindowCache(const SharedWindowCache* cache, const Motif& motif);
+
+/// Resolves the cache a per-window evaluation path should read through
+/// — the one policy shared by the enumerator, counter, and DP searcher:
+/// the injected cache when ShouldUseWindowCache passes (its delta must
+/// equal `delta`); else a privately owned cache, allocated into
+/// `*owned`, iff the motif has an interior node; else null (windows
+/// are computed per match). `owned` must outlive the returned pointer.
+SharedWindowCache* ResolveWindowCache(
+    SharedWindowCache* injected, const Motif& motif, Timestamp delta,
+    std::unique_ptr<SharedWindowCache>* owned);
 
 /// Per-series sliding cursors over one match's window sweep:
 /// lo[k] = LowerBound(window.start), hi[k] = UpperBound(window.end) of
@@ -111,15 +132,15 @@ class TimelineOffsets {
   size_t tau_ = 0;
 };
 
-class SharedWindowCache;
-
 /// One-entry most-recently-used window-list fallback for when no
 /// SharedWindowCache serves a pair (memoization gated off, cache
 /// saturated, or the pair declined). Matches arrive in runs sharing a
 /// (first, last) pair — the P1 DFS varies interior vertices innermost —
 /// so remembering the last computed list keeps those run-locality hits
-/// even without (or beyond) the shared cache. Not thread-safe: one per
-/// worker/scratch.
+/// even without (or beyond) the shared cache. Keyed on the series'
+/// timestamp identities (like the shared cache), so a run that crosses
+/// from one flow-permuted view to the next keeps its hit. Not
+/// thread-safe: one per worker/scratch.
 class WindowListMru {
  public:
   /// Returns the processed-window list for (first, last): from `cache`
@@ -131,15 +152,24 @@ class WindowListMru {
                                           Timestamp delta);
 
  private:
-  const EdgeSeries* first_ = nullptr;
-  const EdgeSeries* last_ = nullptr;
+  const void* first_id_ = nullptr;
+  const void* last_id_ = nullptr;
   std::vector<Window> windows_;
 };
 
 /// Per-query shared cache of processed-window lists, keyed on the
-/// (first, last) EdgeSeries pointer pair — built once per pair and
-/// served to every evaluation path (DP, counter, enumerator, join) and
-/// every worker thread of the query.
+/// (first, last) *timestamp-storage identities* of the series pair
+/// (EdgeSeries::timestamp_identity()) — built once per pair and served
+/// to every evaluation path (DP, counter, enumerator, join) and every
+/// worker thread of the query.
+///
+/// Window lists depend only on timestamps and delta, and the identity is
+/// shared by a series and all its flow-permuted views, so one cache is
+/// warm across a whole significance ensemble: lists computed on the real
+/// graph are hit by every randomized view. Construct with
+/// `cross_graph = true` to record that intent — ShouldUseWindowCache
+/// then enables memoization even for motifs whose pairs never repeat
+/// within one graph.
 ///
 /// Reads are lock-free: entries are immutable once published, inserted
 /// at bucket heads with a CAS, and never moved or freed until the cache
@@ -149,15 +179,18 @@ class WindowListMru {
 /// readers still hold; past the cap, Get returns nullptr and callers
 /// compute into their own buffer (correctness never depends on a hit).
 ///
-/// Keying on pointers means a cache must never be shared across graphs
-/// whose lifetimes overlap the query's — create one cache per
-/// (graph, delta) query, as QueryEngine does.
+/// Keying on storage identities means a cache must never outlive the
+/// timestamp storage it indexes, and must never be shared across graphs
+/// built independently (their identities are distinct, so entries would
+/// just never hit) — create one cache per (graph family, delta) query,
+/// as QueryEngine and SignificanceAnalyzer do.
 class SharedWindowCache {
  public:
   static constexpr size_t kDefaultMaxEntries = 1024;
 
   explicit SharedWindowCache(Timestamp delta,
-                             size_t max_entries = kDefaultMaxEntries);
+                             size_t max_entries = kDefaultMaxEntries,
+                             bool cross_graph = false);
   ~SharedWindowCache();
   SharedWindowCache(const SharedWindowCache&) = delete;
   SharedWindowCache& operator=(const SharedWindowCache&) = delete;
@@ -165,12 +198,18 @@ class SharedWindowCache {
   /// Returns the processed-window list for (first, last), computing and
   /// publishing it on first request. Returns nullptr when the cache is
   /// saturated and the pair is absent. The returned pointer stays valid
-  /// until the cache is destroyed.
+  /// until the cache is destroyed. Two series with equal
+  /// timestamp_identity() (a series and its flow-permuted views) share
+  /// one entry.
   const std::vector<Window>* Get(const EdgeSeries& first,
                                  const EdgeSeries& last);
 
   Timestamp delta() const { return delta_; }
   size_t max_entries() const { return max_entries_; }
+
+  /// True when this cache is intended to serve several graphs sharing
+  /// timestamp storage (a flow-permutation ensemble).
+  bool cross_graph() const { return cross_graph_; }
 
   /// Number of reserved entry slots (== published entries once all
   /// in-flight inserts finish). Never exceeds max_entries().
@@ -178,16 +217,17 @@ class SharedWindowCache {
 
  private:
   struct Node {
-    const EdgeSeries* first;
-    const EdgeSeries* last;
+    const void* first_id;
+    const void* last_id;
     std::vector<Window> windows;
     Node* next;
   };
 
-  size_t BucketOf(const EdgeSeries* first, const EdgeSeries* last) const;
+  size_t BucketOf(const void* first_id, const void* last_id) const;
 
   const Timestamp delta_;
   const size_t max_entries_;
+  const bool cross_graph_;
   std::vector<std::atomic<Node*>> buckets_;
   std::atomic<size_t> size_{0};
 };

@@ -630,6 +630,12 @@ void QueryEngine::RunSignificance(const Motif& motif,
   sopts.phi = options.phi;
   sopts.reuse_matches = true;
   sopts.pool = pool;
+  // Unlike the other modes, the per-query window cache is owned by the
+  // analyzer, not created here: the analyzer's cache is cross-graph
+  // (keyed on timestamp-storage identity), so the window lists it
+  // builds serve the real graph and every flow-permutation view of the
+  // N+1-graph ensemble — one cache per Analyze, warm across the wave of
+  // permuted counts for any motif shape.
   const SignificanceAnalyzer analyzer(graph_, sopts);
   result->significance = analyzer.Analyze(motif);
   result->stats.num_instances = result->significance.real_count;

@@ -1,25 +1,66 @@
 #include "graph/edge_series.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace flowmotif {
 
-EdgeSeries::EdgeSeries(std::vector<Interaction> interactions) {
-  std::sort(interactions.begin(), interactions.end());
-  times_.reserve(interactions.size());
-  flows_.reserve(interactions.size());
-  for (const Interaction& x : interactions) {
-    FLOWMOTIF_CHECK_GT(x.f, 0.0) << "flows must be positive";
-    times_.push_back(x.t);
-    flows_.push_back(x.f);
-  }
+namespace {
+
+/// All default-constructed series share one empty timestamp array. The
+/// identity collision is benign: identical timestamps imply identical
+/// window lists, which is the only property the cache key relies on.
+const std::shared_ptr<const std::vector<Timestamp>>& EmptyTimes() {
+  static const std::shared_ptr<const std::vector<Timestamp>>* const kEmpty =
+      new std::shared_ptr<const std::vector<Timestamp>>(
+          std::make_shared<const std::vector<Timestamp>>());
+  return *kEmpty;
+}
+
+}  // namespace
+
+EdgeSeries::EdgeSeries() : times_(EmptyTimes()) {
+  SyncTimesView();
   RebuildPrefix();
 }
 
+EdgeSeries::EdgeSeries(std::vector<Interaction> interactions) {
+  std::sort(interactions.begin(), interactions.end());
+  std::vector<Timestamp> times;
+  times.reserve(interactions.size());
+  flows_.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    FLOWMOTIF_CHECK_GT(x.f, 0.0) << "flows must be positive";
+    times.push_back(x.t);
+    flows_.push_back(x.f);
+  }
+  times_ = std::make_shared<const std::vector<Timestamp>>(std::move(times));
+  SyncTimesView();
+  RebuildPrefix();
+}
+
+EdgeSeries EdgeSeries::WithFlows(std::vector<Flow> new_flows) const {
+  FLOWMOTIF_CHECK_EQ(new_flows.size(), flows_.size());
+  for (Flow f : new_flows) FLOWMOTIF_CHECK_GT(f, 0.0);
+  EdgeSeries view;
+  view.times_ = times_;  // shared storage, same identity
+  view.SyncTimesView();
+  view.flows_ = std::move(new_flows);
+  view.RebuildPrefix();
+  return view;
+}
+
+EdgeSeries EdgeSeries::DeepCopy() const {
+  EdgeSeries copy = *this;
+  copy.times_ = std::make_shared<const std::vector<Timestamp>>(*times_);
+  copy.SyncTimesView();
+  return copy;
+}
+
 void EdgeSeries::RebuildPrefix() {
-  prefix_.assign(times_.size() + 1, 0.0);
+  prefix_.assign(num_elements_ + 1, 0.0);
   for (size_t i = 0; i < flows_.size(); ++i) {
     prefix_[i + 1] = prefix_[i] + flows_[i];
   }
@@ -27,48 +68,48 @@ void EdgeSeries::RebuildPrefix() {
 
 size_t EdgeSeries::LowerBound(Timestamp t) const {
   return static_cast<size_t>(
-      std::lower_bound(times_.begin(), times_.end(), t) - times_.begin());
+      std::lower_bound(times_data_, times_data_ + num_elements_, t) -
+      times_data_);
 }
 
 size_t EdgeSeries::UpperBound(Timestamp t) const {
   return static_cast<size_t>(
-      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+      std::upper_bound(times_data_, times_data_ + num_elements_, t) -
+      times_data_);
 }
 
 size_t EdgeSeries::AdvanceLowerBound(size_t from, Timestamp t) const {
-  const size_t n = times_.size();
-  if (from >= n || times_[from] >= t) return from;
+  const Timestamp* const times = times_data_;
+  const size_t n = num_elements_;
+  if (from >= n || times[from] >= t) return from;
   // Gallop: double the step while the probe is still < t, keeping the
-  // invariant times_[low] < t, then binary-search the bracket. Cost is
+  // invariant times[low] < t, then binary-search the bracket. Cost is
   // O(log gap), so tight window-to-window slides stay ~constant and a
   // first window deep into the series costs no more than LowerBound.
   size_t low = from;
   size_t step = 1;
-  while (low + step < n && times_[low + step] < t) {
+  while (low + step < n && times[low + step] < t) {
     low += step;
     step <<= 1;
   }
   const size_t high = std::min(n, low + step);
   return static_cast<size_t>(
-      std::lower_bound(times_.begin() + static_cast<ptrdiff_t>(low) + 1,
-                       times_.begin() + static_cast<ptrdiff_t>(high), t) -
-      times_.begin());
+      std::lower_bound(times + low + 1, times + high, t) - times);
 }
 
 size_t EdgeSeries::AdvanceUpperBound(size_t from, Timestamp t) const {
-  const size_t n = times_.size();
-  if (from >= n || times_[from] > t) return from;
-  size_t low = from;  // invariant: times_[low] <= t
+  const Timestamp* const times = times_data_;
+  const size_t n = num_elements_;
+  if (from >= n || times[from] > t) return from;
+  size_t low = from;  // invariant: times[low] <= t
   size_t step = 1;
-  while (low + step < n && times_[low + step] <= t) {
+  while (low + step < n && times[low + step] <= t) {
     low += step;
     step <<= 1;
   }
   const size_t high = std::min(n, low + step);
   return static_cast<size_t>(
-      std::upper_bound(times_.begin() + static_cast<ptrdiff_t>(low) + 1,
-                       times_.begin() + static_cast<ptrdiff_t>(high), t) -
-      times_.begin());
+      std::upper_bound(times + low + 1, times + high, t) - times);
 }
 
 Flow EdgeSeries::FlowInOpenClosed(Timestamp lo, Timestamp hi) const {
@@ -90,7 +131,7 @@ Flow EdgeSeries::FlowInClosed(Timestamp lo, Timestamp hi) const {
 bool EdgeSeries::HasElementInOpenClosed(Timestamp lo, Timestamp hi) const {
   if (lo >= hi) return false;
   size_t first = UpperBound(lo);
-  return first < size() && times_[first] <= hi;
+  return first < size() && times_data_[first] <= hi;
 }
 
 void EdgeSeries::ReplaceFlows(const std::vector<Flow>& new_flows) {

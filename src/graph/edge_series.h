@@ -2,6 +2,7 @@
 #define FLOWMOTIF_GRAPH_EDGE_SERIES_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "graph/types.h"
@@ -11,25 +12,55 @@ namespace flowmotif {
 /// The interaction time series R(u, v) on one edge of the time-series
 /// graph: all (t, f) elements from u to v, ordered by time.
 ///
+/// Storage is split: the timestamp array is immutable shared storage
+/// (shared_ptr), while the flow values and their prefix sums are owned
+/// per series. A flow-permuted view (WithFlows) therefore shares the
+/// timestamps of its source series by identity — the significance
+/// module's null-model graphs (Sec. 6.3) keep structure and timestamps
+/// fixed, so every timestamp-derived artifact (window lists, union
+/// timelines, structural matches) is bit-identical across the whole
+/// permutation ensemble and can be cached under timestamp_identity().
+///
 /// Flow prefix sums are maintained so that the aggregated flow of any
 /// contiguous index range — the quantity `flow([tj, ti], k)` of Eq. 2 and
 /// the phi-checks of Algorithm 1 — costs O(1) after an O(log n) binary
 /// search by time.
 class EdgeSeries {
  public:
-  EdgeSeries() = default;
+  /// An empty series sharing the static empty timestamp storage.
+  EdgeSeries();
 
-  /// Builds from interactions; sorts them by (time, flow).
+  /// Builds from interactions; sorts them by (time, flow). The series
+  /// owns a fresh timestamp array (a new identity).
   explicit EdgeSeries(std::vector<Interaction> interactions);
 
-  size_t size() const { return times_.size(); }
-  bool empty() const { return times_.empty(); }
+  /// A view over this series' timestamp storage (shared by identity, not
+  /// copied) carrying `new_flows` in element order. The significance
+  /// module's flow permutation builds its randomized graphs from these
+  /// views, so N permutations store N flow arrays but one timestamp
+  /// array. `new_flows.size()` must equal size(); flows must be > 0.
+  EdgeSeries WithFlows(std::vector<Flow> new_flows) const;
 
-  Timestamp time(size_t i) const { return times_[i]; }
+  /// Copy with freshly owned timestamp storage — a distinct
+  /// timestamp_identity(). The retained pre-refactor copying semantics,
+  /// used by TimeSeriesGraph::DeepCopy.
+  EdgeSeries DeepCopy() const;
+
+  /// Stable identity of the (immutable, shared) timestamp storage: equal
+  /// for this series and every WithFlows view derived from it, distinct
+  /// for series built from interactions. SharedWindowCache keys on this,
+  /// which is what lets one window cache serve a whole flow-permutation
+  /// ensemble.
+  const void* timestamp_identity() const { return times_.get(); }
+
+  size_t size() const { return num_elements_; }
+  bool empty() const { return num_elements_ == 0; }
+
+  Timestamp time(size_t i) const { return times_data_[i]; }
   Flow flow(size_t i) const { return flows_[i]; }
-  Interaction at(size_t i) const { return {times_[i], flows_[i]}; }
+  Interaction at(size_t i) const { return {times_data_[i], flows_[i]}; }
 
-  const std::vector<Timestamp>& times() const { return times_; }
+  const std::vector<Timestamp>& times() const { return *times_; }
   const std::vector<Flow>& flows() const { return flows_; }
 
   /// Sum of flows over the inclusive index range [i, j]; 0 if i > j.
@@ -77,15 +108,31 @@ class EdgeSeries {
   /// True iff some element has lo < time <= hi.
   bool HasElementInOpenClosed(Timestamp lo, Timestamp hi) const;
 
-  /// Replaces the flow values (used by the significance module's flow
-  /// permutation, which keeps structure and timestamps fixed) and rebuilds
-  /// the prefix sums. `new_flows.size()` must equal size().
+  /// Replaces the flow values in place and rebuilds the prefix sums.
+  /// Only the owned flow storage is touched — the shared timestamps (and
+  /// any views over them) are unaffected. `new_flows.size()` must equal
+  /// size().
   void ReplaceFlows(const std::vector<Flow>& new_flows);
 
  private:
   void RebuildPrefix();
 
-  std::vector<Timestamp> times_;
+  /// Re-derives the cached raw view (times_data_, num_elements_) from
+  /// times_. Call after every assignment to times_.
+  void SyncTimesView() {
+    times_data_ = times_->data();
+    num_elements_ = times_->size();
+  }
+
+  // Immutable after construction; shared with WithFlows views.
+  std::shared_ptr<const std::vector<Timestamp>> times_;
+  // Cached raw view of *times_ so the hot paths (time(), the galloping
+  // cursors, the binary searches) pay no shared_ptr double indirection —
+  // the storage split must not tax the recursion-bound workloads that
+  // never touch a permutation view. Always kept in sync with times_.
+  const Timestamp* times_data_ = nullptr;
+  size_t num_elements_ = 0;
+  // Owned per series/view.
   std::vector<Flow> flows_;
   std::vector<double> prefix_;  // prefix_[i] = sum of flows_[0..i-1]
 };

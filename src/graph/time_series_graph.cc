@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace flowmotif {
+
+// A default-constructed graph owns a small empty index so the accessors
+// never have to null-check index_.
+TimeSeriesGraph::TimeSeriesGraph()
+    : index_(std::make_shared<const Index>()) {}
 
 TimeSeriesGraph TimeSeriesGraph::Build(const InteractionGraph& multigraph) {
   TimeSeriesGraph graph;
@@ -38,31 +44,35 @@ TimeSeriesGraph TimeSeriesGraph::Build(const InteractionGraph& multigraph) {
     i = j;
   }
 
+  Index index;
+
   // CSR offsets over the sorted pair list.
-  graph.out_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  index.out_begin.assign(static_cast<size_t>(n) + 1, 0);
   for (const PairEdge& pe : graph.pairs_) {
-    ++graph.out_begin_[static_cast<size_t>(pe.src) + 1];
+    ++index.out_begin[static_cast<size_t>(pe.src) + 1];
   }
-  for (size_t v = 1; v < graph.out_begin_.size(); ++v) {
-    graph.out_begin_[v] += graph.out_begin_[v - 1];
+  for (size_t v = 1; v < index.out_begin.size(); ++v) {
+    index.out_begin[v] += index.out_begin[v - 1];
   }
 
   // Reverse index: pair indices grouped by destination (counting sort;
   // the (dst, src) order follows from the stable pass over pairs sorted
   // by (src, dst)).
-  graph.in_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  index.in_begin.assign(static_cast<size_t>(n) + 1, 0);
   for (const PairEdge& pe : graph.pairs_) {
-    ++graph.in_begin_[static_cast<size_t>(pe.dst) + 1];
+    ++index.in_begin[static_cast<size_t>(pe.dst) + 1];
   }
-  for (size_t v = 1; v < graph.in_begin_.size(); ++v) {
-    graph.in_begin_[v] += graph.in_begin_[v - 1];
+  for (size_t v = 1; v < index.in_begin.size(); ++v) {
+    index.in_begin[v] += index.in_begin[v - 1];
   }
-  graph.in_index_.assign(graph.pairs_.size(), 0);
-  std::vector<size_t> cursor(graph.in_begin_.begin(),
-                             graph.in_begin_.end() - 1);
+  index.in_index.assign(graph.pairs_.size(), 0);
+  std::vector<size_t> cursor(index.in_begin.begin(),
+                             index.in_begin.end() - 1);
   for (size_t p = 0; p < graph.pairs_.size(); ++p) {
-    graph.in_index_[cursor[static_cast<size_t>(graph.pairs_[p].dst)]++] = p;
+    index.in_index[cursor[static_cast<size_t>(graph.pairs_[p].dst)]++] = p;
   }
+
+  graph.index_ = std::make_shared<const Index>(std::move(index));
   return graph;
 }
 
@@ -116,7 +126,9 @@ TimeSeriesGraph TimeSeriesGraph::WithPermutedFlows(Rng* rng) const {
   FLOWMOTIF_CHECK(rng != nullptr);
   // Collect every flow value in deterministic (pair, index) order, shuffle
   // the multiset, and write it back in the same order. Structure and
-  // timestamps are untouched, exactly as in Sec. 6.3.
+  // timestamps are untouched, exactly as in Sec. 6.3 — and since they are
+  // immutable shared storage, the view references them instead of copying:
+  // only the permuted flow arrays (and their prefix sums) are allocated.
   std::vector<Flow> all_flows;
   for (const PairEdge& pe : pairs_) {
     for (size_t i = 0; i < pe.series.size(); ++i) {
@@ -125,16 +137,29 @@ TimeSeriesGraph TimeSeriesGraph::WithPermutedFlows(Rng* rng) const {
   }
   rng->Shuffle(&all_flows);
 
-  TimeSeriesGraph out = *this;
+  TimeSeriesGraph out;
+  out.index_ = index_;  // shared topology, same identity
+  out.pairs_.reserve(pairs_.size());
   size_t cursor = 0;
-  for (PairEdge& pe : out.pairs_) {
+  for (const PairEdge& pe : pairs_) {
     std::vector<Flow> new_flows(pe.series.size());
     for (size_t i = 0; i < new_flows.size(); ++i) {
       new_flows[i] = all_flows[cursor++];
     }
-    pe.series.ReplaceFlows(new_flows);
+    out.pairs_.push_back(
+        PairEdge{pe.src, pe.dst, pe.series.WithFlows(std::move(new_flows))});
   }
   FLOWMOTIF_CHECK_EQ(cursor, all_flows.size());
+  return out;
+}
+
+TimeSeriesGraph TimeSeriesGraph::DeepCopy() const {
+  TimeSeriesGraph out;
+  out.index_ = std::make_shared<const Index>(*index_);
+  out.pairs_.reserve(pairs_.size());
+  for (const PairEdge& pe : pairs_) {
+    out.pairs_.push_back(PairEdge{pe.src, pe.dst, pe.series.DeepCopy()});
+  }
   return out;
 }
 

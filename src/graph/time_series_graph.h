@@ -2,6 +2,7 @@
 #define FLOWMOTIF_GRAPH_TIME_SERIES_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,16 @@ namespace flowmotif {
 /// Layout is CSR-like: pair edges are stored sorted by (src, dst) with a
 /// per-vertex offset table, so out-neighbor scans are contiguous and pair
 /// lookup is a binary search within the source's range.
+///
+/// Storage is split along the flow/structure axis: the CSR index tables
+/// and every series' timestamp array are immutable shared storage, while
+/// flow values (and their prefix sums) are owned per graph. Copying a
+/// graph — and in particular WithPermutedFlows, the Sec. 6.3 null-model
+/// randomization — therefore shares the structure and timestamps by
+/// identity and duplicates only the flow arrays. A whole significance
+/// ensemble stores one copy of the timestamps plus N flow arrays, and
+/// timestamp-keyed caches (SharedWindowCache) stay warm across all N+1
+/// graphs.
 ///
 /// The class is immutable after Build and therefore safe for concurrent
 /// readers.
@@ -41,15 +52,15 @@ class TimeSeriesGraph {
     Timestamp max_time = 0;
   };
 
-  TimeSeriesGraph() = default;
+  TimeSeriesGraph();
 
   /// Builds from a multigraph. Groups edges by (src, dst), sorts each
   /// series by time, and assembles the CSR index.
   static TimeSeriesGraph Build(const InteractionGraph& multigraph);
 
   int64_t num_vertices() const {
-    return static_cast<int64_t>(out_begin_.empty() ? 0
-                                                   : out_begin_.size() - 1);
+    return static_cast<int64_t>(
+        index_->out_begin.empty() ? 0 : index_->out_begin.size() - 1);
   }
   int64_t num_pairs() const { return static_cast<int64_t>(pairs_.size()); }
 
@@ -58,8 +69,8 @@ class TimeSeriesGraph {
   const PairEdge& pair(size_t i) const { return pairs_[i]; }
 
   /// Index range [OutBegin(v), OutEnd(v)) of pair edges with source v.
-  size_t OutBegin(VertexId v) const { return out_begin_[v]; }
-  size_t OutEnd(VertexId v) const { return out_begin_[v + 1]; }
+  size_t OutBegin(VertexId v) const { return index_->out_begin[v]; }
+  size_t OutEnd(VertexId v) const { return index_->out_begin[v + 1]; }
   int64_t OutDegree(VertexId v) const {
     return static_cast<int64_t>(OutEnd(v) - OutBegin(v));
   }
@@ -68,9 +79,9 @@ class TimeSeriesGraph {
   /// pair(InPairIndex(k)) is an edge with destination v, ordered by
   /// source. Used by the general-motif matcher to bind a new source
   /// vertex of a fan-in edge.
-  size_t InBegin(VertexId v) const { return in_begin_[v]; }
-  size_t InEnd(VertexId v) const { return in_begin_[v + 1]; }
-  size_t InPairIndex(size_t k) const { return in_index_[k]; }
+  size_t InBegin(VertexId v) const { return index_->in_begin[v]; }
+  size_t InEnd(VertexId v) const { return index_->in_begin[v + 1]; }
+  size_t InPairIndex(size_t k) const { return index_->in_index[k]; }
   int64_t InDegree(VertexId v) const {
     return static_cast<int64_t>(InEnd(v) - InBegin(v));
   }
@@ -84,19 +95,44 @@ class TimeSeriesGraph {
   /// Dataset statistics (Table 3).
   Stats ComputeStats() const;
 
-  /// Returns a copy with the same structure and timestamps but with the
-  /// multiset of flow values randomly permuted across all interactions —
-  /// the randomization used for the significance analysis (Sec. 6.3).
+  /// Returns a *flow-permutation view*: same structure and timestamps —
+  /// shared by identity, not copied — with the multiset of flow values
+  /// randomly permuted across all interactions, the randomization used
+  /// for the significance analysis (Sec. 6.3). The view owns only its
+  /// flow arrays (plus prefix sums); every series reports the same
+  /// timestamp_identity() as the original, so timestamp-keyed window
+  /// caches built on the real graph are warm for the view. The original
+  /// graph is never modified. The RNG stream consumed is identical to
+  /// the pre-view (deep-copying) implementation, so a seed reproduces
+  /// the same flows.
   TimeSeriesGraph WithPermutedFlows(Rng* rng) const;
+
+  /// Deep copy with freshly owned timestamp and topology storage: every
+  /// series gets a new timestamp_identity(), so no timestamp-keyed cache
+  /// entry can alias the source graph. The pre-refactor copying
+  /// semantics, retained for the significance equivalence reference and
+  /// for callers that need storage-independent graphs.
+  TimeSeriesGraph DeepCopy() const;
+
+  /// Stable identity of the shared CSR topology storage: equal for this
+  /// graph and every WithPermutedFlows view of it, distinct for
+  /// separately built (or deep-copied) graphs. Exposed for tests.
+  const void* topology_identity() const { return index_.get(); }
 
   /// Human-readable one-line summary for logs.
   std::string DebugString() const;
 
  private:
-  std::vector<PairEdge> pairs_;       // sorted by (src, dst)
-  std::vector<size_t> out_begin_;     // size num_vertices()+1
-  std::vector<size_t> in_index_;      // pair indices sorted by (dst, src)
-  std::vector<size_t> in_begin_;      // size num_vertices()+1
+  /// CSR index tables; immutable after Build and shared with
+  /// flow-permutation views.
+  struct Index {
+    std::vector<size_t> out_begin;  // size num_vertices()+1
+    std::vector<size_t> in_index;   // pair indices sorted by (dst, src)
+    std::vector<size_t> in_begin;   // size num_vertices()+1
+  };
+
+  std::vector<PairEdge> pairs_;  // sorted by (src, dst)
+  std::shared_ptr<const Index> index_;  // never null
 };
 
 }  // namespace flowmotif

@@ -1,0 +1,198 @@
+// Property tests of the flow-permutation views (storage split):
+//  * a flow-permuted view shares every per-series timestamp array *by
+//    identity* (same pointer) and the CSR topology storage;
+//  * the graph-wide flow multiset is preserved and per-series sizes are
+//    unchanged (the permutation shuffles across all interactions, so
+//    per-series multisets may change — the global one may not);
+//  * the original graph's flows are untouched;
+//  * the RNG stream is keyed on the seed only: view i is identical no
+//    matter how many views are drawn, which pool size counts them, or
+//    which motif is analyzed first;
+//  * DeepCopy yields fresh identities with equal content.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "core/significance.h"
+#include "graph/interaction_graph.h"
+#include "graph/time_series_graph.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace flowmotif {
+namespace {
+
+TimeSeriesGraph RandomGraph(uint64_t seed, int num_vertices,
+                            int num_interactions, Timestamp time_span) {
+  Rng rng(seed);
+  InteractionGraph g;
+  for (int i = 0; i < num_interactions; ++i) {
+    const auto src = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    auto dst = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(num_vertices)));
+    if (dst == src) dst = (dst + 1) % num_vertices;
+    const auto t = static_cast<Timestamp>(
+        rng.NextBounded(static_cast<uint64_t>(time_span)));
+    const Flow f = 1.0 + static_cast<Flow>(rng.NextBounded(7));
+    const Status s = g.AddEdge(src, dst, t, f);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return TimeSeriesGraph::Build(g);
+}
+
+std::vector<Flow> AllFlows(const TimeSeriesGraph& graph) {
+  std::vector<Flow> flows;
+  for (const TimeSeriesGraph::PairEdge& pe : graph.pairs()) {
+    for (size_t i = 0; i < pe.series.size(); ++i) {
+      flows.push_back(pe.series.flow(i));
+    }
+  }
+  return flows;
+}
+
+TEST(FlowPermutationTest, ViewSharesTimestampStorageByIdentity) {
+  for (uint64_t seed : {2u, 9u, 21u}) {
+    const TimeSeriesGraph graph = RandomGraph(seed, 7, 90, 60);
+    Rng rng(seed * 17 + 1);
+    const TimeSeriesGraph view = graph.WithPermutedFlows(&rng);
+
+    ASSERT_EQ(view.num_pairs(), graph.num_pairs());
+    EXPECT_EQ(view.topology_identity(), graph.topology_identity());
+    for (int64_t p = 0; p < graph.num_pairs(); ++p) {
+      const EdgeSeries& orig = graph.pair(static_cast<size_t>(p)).series;
+      const EdgeSeries& permuted = view.pair(static_cast<size_t>(p)).series;
+      // Same identity AND the very same vector object behind times().
+      EXPECT_EQ(permuted.timestamp_identity(), orig.timestamp_identity());
+      EXPECT_EQ(&permuted.times(), &orig.times());
+      EXPECT_EQ(permuted.size(), orig.size());
+      // Flow storage is independent: prefix sums reflect the new flows.
+      EXPECT_EQ(view.pair(static_cast<size_t>(p)).src,
+                graph.pair(static_cast<size_t>(p)).src);
+      EXPECT_EQ(view.pair(static_cast<size_t>(p)).dst,
+                graph.pair(static_cast<size_t>(p)).dst);
+    }
+  }
+}
+
+TEST(FlowPermutationTest, FlowMultisetPreservedAndOriginalUntouched) {
+  for (uint64_t seed : {4u, 13u, 33u}) {
+    const TimeSeriesGraph graph = RandomGraph(seed, 6, 80, 50);
+    const std::vector<Flow> before = AllFlows(graph);
+
+    Rng rng(seed + 100);
+    const TimeSeriesGraph view = graph.WithPermutedFlows(&rng);
+
+    // Original flows byte-identical after the permutation.
+    EXPECT_EQ(AllFlows(graph), before);
+
+    // The view's flow multiset equals the original's.
+    std::vector<Flow> sorted_before = before;
+    std::vector<Flow> sorted_view = AllFlows(view);
+    std::sort(sorted_before.begin(), sorted_before.end());
+    std::sort(sorted_view.begin(), sorted_view.end());
+    EXPECT_EQ(sorted_view, sorted_before);
+
+    // Per-series totals must match the per-series flows (prefix sums
+    // rebuilt for the view, not inherited).
+    for (int64_t p = 0; p < view.num_pairs(); ++p) {
+      const EdgeSeries& s = view.pair(static_cast<size_t>(p)).series;
+      Flow total = 0.0;
+      for (size_t i = 0; i < s.size(); ++i) total += s.flow(i);
+      EXPECT_DOUBLE_EQ(s.TotalFlow(), total);
+    }
+  }
+}
+
+TEST(FlowPermutationTest, RngStreamIndependentOfHowViewsAreConsumed) {
+  const TimeSeriesGraph graph = RandomGraph(8, 6, 70, 40);
+
+  // Drawing 3 views then 2 more from a fresh stream equals drawing 5.
+  Rng rng_a(77);
+  std::vector<TimeSeriesGraph> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(graph.WithPermutedFlows(&rng_a));
+  Rng rng_b(77);
+  for (int i = 0; i < 5; ++i) {
+    const TimeSeriesGraph again = graph.WithPermutedFlows(&rng_b);
+    EXPECT_EQ(AllFlows(again), AllFlows(batch[static_cast<size_t>(i)]))
+        << "view " << i;
+  }
+}
+
+TEST(FlowPermutationTest, EnsembleIdenticalAcrossPoolSizeAndMotifOrder) {
+  const TimeSeriesGraph graph = RandomGraph(14, 6, 80, 40);
+  SignificanceAnalyzer::Options options;
+  options.num_random_graphs = 5;
+  options.seed = 1234;
+  options.delta = 9;
+  options.phi = 2.0;
+
+  const Motif m33 = *MotifCatalog::ByName("M(3,3)");
+  const Motif m54 = *MotifCatalog::ByName("M(5,4)");
+
+  // Serial reference: analyze M(3,3) alone.
+  const SignificanceAnalyzer serial(graph, options);
+  const SignificanceAnalyzer::MotifReport base = serial.Analyze(m33);
+
+  // Same report regardless of pool size...
+  for (const int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    SignificanceAnalyzer::Options pooled = options;
+    pooled.pool = &pool;
+    const SignificanceAnalyzer analyzer(graph, pooled);
+    const SignificanceAnalyzer::MotifReport report = analyzer.Analyze(m33);
+    EXPECT_EQ(report.random_counts, base.random_counts)
+        << "threads=" << threads;
+    EXPECT_EQ(report.real_count, base.real_count) << "threads=" << threads;
+  }
+
+  // ...and regardless of which motif the analyzer saw first.
+  const SignificanceAnalyzer fresh(graph, options);
+  (void)fresh.Analyze(m54);
+  EXPECT_EQ(fresh.Analyze(m33).random_counts, base.random_counts);
+  const std::vector<SignificanceAnalyzer::MotifReport> all =
+      fresh.AnalyzeAll({m54, m33});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].random_counts, base.random_counts);
+}
+
+TEST(FlowPermutationTest, DeepCopyOwnsFreshStorageWithEqualContent) {
+  const TimeSeriesGraph graph = RandomGraph(5, 5, 60, 30);
+  const TimeSeriesGraph copy = graph.DeepCopy();
+
+  EXPECT_NE(copy.topology_identity(), graph.topology_identity());
+  ASSERT_EQ(copy.num_pairs(), graph.num_pairs());
+  EXPECT_EQ(copy.num_vertices(), graph.num_vertices());
+  for (int64_t p = 0; p < graph.num_pairs(); ++p) {
+    const EdgeSeries& a = graph.pair(static_cast<size_t>(p)).series;
+    const EdgeSeries& b = copy.pair(static_cast<size_t>(p)).series;
+    EXPECT_NE(b.timestamp_identity(), a.timestamp_identity());
+    EXPECT_EQ(b.times(), a.times());
+    EXPECT_EQ(b.flows(), a.flows());
+  }
+}
+
+TEST(FlowPermutationTest, EdgeSeriesWithFlowsSharesIdentity) {
+  const EdgeSeries series(
+      {Interaction{3, 1.0}, Interaction{5, 2.0}, Interaction{5, 4.0},
+       Interaction{9, 0.5}});
+  const EdgeSeries view = series.WithFlows({4.0, 3.0, 1.0, 2.0});
+  EXPECT_EQ(view.timestamp_identity(), series.timestamp_identity());
+  EXPECT_EQ(&view.times(), &series.times());
+  EXPECT_EQ(view.flow(0), 4.0);
+  EXPECT_DOUBLE_EQ(view.TotalFlow(), 10.0);
+  // Original untouched, prefix sums independent.
+  EXPECT_EQ(series.flow(0), 1.0);
+  EXPECT_DOUBLE_EQ(series.TotalFlow(), 7.5);
+  // DeepCopy of a series re-homes the timestamps.
+  const EdgeSeries copy = series.DeepCopy();
+  EXPECT_NE(copy.timestamp_identity(), series.timestamp_identity());
+  EXPECT_EQ(copy.times(), series.times());
+}
+
+}  // namespace
+}  // namespace flowmotif

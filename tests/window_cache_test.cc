@@ -178,6 +178,140 @@ TEST(SharedWindowCacheTest, SizeCapSaturatesWithoutEvicting) {
   }
 }
 
+TEST(SharedWindowCacheTest, EnsembleViewsHitTheSameEntries) {
+  // The cache keys on timestamp-storage identity, so the real graph and
+  // its flow-permuted views must share entries: a list published for a
+  // pair of the real graph is returned — same pointer — for the
+  // corresponding pair of every view, and serving two views inserts
+  // nothing new.
+  const TimeSeriesGraph graph = RandomGraph(61, 5, 70, 40);
+  Rng rng(17);
+  const TimeSeriesGraph view_a = graph.WithPermutedFlows(&rng);
+  const TimeSeriesGraph view_b = graph.WithPermutedFlows(&rng);
+  constexpr Timestamp kDelta = 9;
+
+  SharedWindowCache cache(kDelta, SharedWindowCache::kDefaultMaxEntries,
+                          /*cross_graph=*/true);
+  EXPECT_TRUE(cache.cross_graph());
+
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  std::vector<const std::vector<Window>*> published;
+  published.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    published.push_back(cache.Get(*first, *last));
+    ASSERT_NE(published.back(), nullptr);
+  }
+  const size_t size_after_real = cache.size();
+  EXPECT_EQ(size_after_real, pairs.size());
+
+  for (const TimeSeriesGraph* view : {&view_a, &view_b}) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      // The corresponding pair on the view: same pair indices, so the
+      // series share timestamp identity with the real graph's.
+      const size_t a = i / static_cast<size_t>(graph.num_pairs());
+      const size_t b = i % static_cast<size_t>(graph.num_pairs());
+      const EdgeSeries& first = view->pair(a).series;
+      const EdgeSeries& last = view->pair(b).series;
+      EXPECT_EQ(cache.Get(first, last), published[i])
+          << "view pair " << a << "," << b;
+    }
+  }
+  // No new entries were inserted for the views.
+  EXPECT_EQ(cache.size(), size_after_real);
+}
+
+TEST(SharedWindowCacheTest, ConcurrentEnsembleReadersSeeIdenticalLists) {
+  // Concurrent readers on the real graph and two permuted views: every
+  // thread reads through a different graph of the ensemble, all must
+  // observe exactly the uncached window list for the underlying
+  // timestamp pair, and the entry population stays that of one graph.
+  const TimeSeriesGraph graph = RandomGraph(67, 5, 80, 50);
+  Rng rng(23);
+  const TimeSeriesGraph view_a = graph.WithPermutedFlows(&rng);
+  const TimeSeriesGraph view_b = graph.WithPermutedFlows(&rng);
+  const TimeSeriesGraph* graphs[] = {&graph, &view_a, &view_b};
+  constexpr Timestamp kDelta = 11;
+
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  std::vector<std::vector<Window>> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    expected.push_back(ComputeProcessedWindows(*first, *last, kDelta));
+  }
+
+  for (int num_threads : {2, 4, 8}) {
+    SharedWindowCache cache(kDelta, SharedWindowCache::kDefaultMaxEntries,
+                            /*cross_graph=*/true);
+    std::atomic<int64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        const TimeSeriesGraph& mine = *graphs[static_cast<size_t>(t) % 3];
+        const size_t np = static_cast<size_t>(mine.num_pairs());
+        for (int round = 0; round < 3; ++round) {
+          for (size_t i = 0; i < np * np; ++i) {
+            const size_t at =
+                (i + static_cast<size_t>(t) * 7) % (np * np);
+            const EdgeSeries& first = mine.pair(at / np).series;
+            const EdgeSeries& last = mine.pair(at % np).series;
+            const std::vector<Window>* got = cache.Get(first, last);
+            if (got == nullptr || *got != expected[at]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0) << "threads=" << num_threads;
+    EXPECT_EQ(cache.size(), pairs.size()) << "threads=" << num_threads;
+  }
+}
+
+TEST(SharedWindowCacheTest, SaturationNeverEvictsUnderIdentityKey) {
+  // Cap saturation with ensemble traffic: entries won by real-graph
+  // pairs survive, view lookups of those pairs still hit at the original
+  // addresses, and pairs beyond the cap are declined for every graph of
+  // the ensemble without evicting anything.
+  const TimeSeriesGraph graph = RandomGraph(71, 6, 80, 40);
+  Rng rng(29);
+  const TimeSeriesGraph view = graph.WithPermutedFlows(&rng);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr size_t kCap = 4;
+  constexpr Timestamp kDelta = 6;
+  ASSERT_GT(pairs.size(), kCap);
+
+  SharedWindowCache cache(kDelta, kCap, /*cross_graph=*/true);
+  std::vector<const std::vector<Window>*> published;
+  for (size_t i = 0; i < kCap; ++i) {
+    const std::vector<Window>* got =
+        cache.Get(*pairs[i].first, *pairs[i].second);
+    ASSERT_NE(got, nullptr);
+    published.push_back(got);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+
+  const auto np = static_cast<size_t>(graph.num_pairs());
+  // Beyond the cap: declined, from the real graph and the view alike.
+  for (size_t i = kCap; i < pairs.size(); ++i) {
+    EXPECT_EQ(cache.Get(*pairs[i].first, *pairs[i].second), nullptr);
+    EXPECT_EQ(cache.Get(view.pair(i / np).series, view.pair(i % np).series),
+              nullptr);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+
+  // The winners survive saturation at their original addresses — also
+  // when requested through the view's series.
+  for (size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(cache.Get(*pairs[i].first, *pairs[i].second), published[i]);
+    EXPECT_EQ(cache.Get(view.pair(i / np).series, view.pair(i % np).series),
+              published[i]);
+  }
+}
+
 TEST(SharedWindowCacheTest, ConcurrentReadersUnderTinyCap) {
   // Saturation under concurrency: whatever subset wins the slots, every
   // non-null answer must still be exact and the size must respect the

@@ -15,7 +15,9 @@ check: the baseline is a trajectory, and new benchmarks join it by
 having their first measured point committed.
 
 The committed baseline predates the incremental-cursor rewrites (PR 3
-for the DP, PR 4 for the counter/join), so today's code sits far below
+for the DP, PR 4 for the counter/join) and the significance-ensemble
+rewrite (PR 5: flow-permutation views + one cross-graph window cache,
+gated through bench_fig14_significance), so today's code sits far below
 it; the threshold exists to catch a rewrite that quietly gives those
 wins back. Cross-machine noise between the reference container and CI
 runners is real — that is why the threshold is a generous 25% and the
