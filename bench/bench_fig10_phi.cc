@@ -1,63 +1,112 @@
-// Reproduces Fig. 10: the number of instances and the runtime of the
-// two-phase algorithm as the flow constraint phi varies (delta fixed at
-// its default). Sweeps follow the paper: {5..25} bitcoin, {3..11}
-// facebook, {1..5} passenger.
+// Fig. 10 workload (instance counts as the flow constraint phi varies,
+// delta fixed at the dataset default) as a google-benchmark harness
+// comparing how the whole curve is produced:
 //
-// Paper shape: both the instance count and the runtime drop as phi
-// increases, because partial instances failing phi are pruned early.
-#include <iostream>
+//  * per_point_enumerate — the pre-rewrite harness behavior: one full
+//    two-phase enumeration query per phi point;
+//  * per_point_count — one kCount query per phi point (memoized
+//    counting, still P1 + a full counting pass per point);
+//  * sweep — one QueryEngine::RunSweep for the curve: P1 once, ONE
+//    skeleton recording (the trace is phi-free), one EvaluateFlows
+//    pass, then each phi is a linear DP over the cached slice flows
+//    (SkeletonReplayer::CountWithFlows). The phi dimension is where
+//    record-once/replay-many pays most: every point after the first
+//    costs a kernel pass, not an enumeration.
+//
+// The benchmark arg selects the dataset preset (0 = bitcoin,
+// 1 = facebook, 2 = passenger); each iteration produces the full
+// phi-sweep curve for M(3,3). Counts are byte-identical across families
+// (sweep_equivalence_test). CI gates real_time per name against
+// BENCH_baseline.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
 
 #include "bench_common.h"
-#include "core/enumerator.h"
 #include "core/motif_catalog.h"
-#include "util/timer.h"
+#include "engine/query_engine.h"
+#include "engine/query_options.h"
 
-using namespace flowmotif;
-using namespace flowmotif::bench;
+namespace flowmotif {
+namespace {
 
-int main() {
-  for (const DatasetPreset& preset : AllPresets()) {
-    const TimeSeriesGraph& graph = BenchGraph(preset);
-
-    PrintHeader("Fig. 10 (" + preset.name + "): #instances vs phi, delta=" +
-                std::to_string(preset.default_delta));
-    std::vector<std::string> header{"motif"};
-    for (Flow phi : preset.phi_sweep) {
-      header.push_back("p=" + FormatDouble(phi, 0));
-    }
-    PrintRow(header);
-
-    std::vector<std::vector<std::string>> time_rows;
-    std::vector<std::vector<std::string>> prune_rows;
-    for (const Motif& motif : MotifCatalog::All()) {
-      std::vector<std::string> count_row{motif.name()};
-      std::vector<std::string> time_row{motif.name()};
-      std::vector<std::string> prune_row{motif.name()};
-      for (Flow phi : preset.phi_sweep) {
-        EnumerationOptions options;
-        options.delta = preset.default_delta;
-        options.phi = phi;
-        WallTimer timer;
-        EnumerationResult result =
-            FlowMotifEnumerator(graph, motif, options).Run();
-        count_row.push_back(FormatCount(result.num_instances));
-        time_row.push_back(FormatSeconds(timer.ElapsedSeconds()));
-        prune_row.push_back(FormatCount(result.num_phi_prunes));
-      }
-      PrintRow(count_row);
-      time_rows.push_back(time_row);
-      prune_rows.push_back(prune_row);
-    }
-
-    PrintHeader("Fig. 10 (" + preset.name + "): runtime vs phi");
-    PrintRow(header);
-    for (const auto& row : time_rows) PrintRow(row);
-
-    PrintHeader("Fig. 10 (" + preset.name + "): phi prunes (extra)");
-    PrintRow(header);
-    for (const auto& row : prune_rows) PrintRow(row);
-  }
-  std::cout << "\nPaper shape: counts and time drop as phi grows; pruning "
-               "does the work.\n";
-  return 0;
+const Motif& CurveMotif() {
+  static const Motif* motif = new Motif(*MotifCatalog::ByName("M(3,3)"));
+  return *motif;
 }
+
+const DatasetPreset& PresetArg(const benchmark::State& state) {
+  return AllPresets()[static_cast<size_t>(state.range(0))];
+}
+
+void ReportCurve(benchmark::State& state, int64_t total_count) {
+  state.counters["curve_total"] =
+      benchmark::Counter(static_cast<double>(total_count));
+}
+
+void BM_Fig10PhiCurve_PerPointEnumerate(benchmark::State& state) {
+  const DatasetPreset& preset = PresetArg(state);
+  const TimeSeriesGraph& graph = bench::BenchGraph(preset);
+  const QueryEngine engine(graph);
+  int64_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const Flow phi : preset.phi_sweep) {
+      const QueryOptions options = bench::BenchQueryOptions(
+          QueryMode::kEnumerate, preset.default_delta, phi);
+      total += engine.Run(CurveMotif(), options).stats.num_instances;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  ReportCurve(state, total);
+}
+BENCHMARK(BM_Fig10PhiCurve_PerPointEnumerate)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig10PhiCurve_PerPointCount(benchmark::State& state) {
+  const DatasetPreset& preset = PresetArg(state);
+  const TimeSeriesGraph& graph = bench::BenchGraph(preset);
+  const QueryEngine engine(graph);
+  int64_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const Flow phi : preset.phi_sweep) {
+      const QueryOptions options = bench::BenchQueryOptions(
+          QueryMode::kCount, preset.default_delta, phi);
+      total += engine.Run(CurveMotif(), options).stats.num_instances;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  ReportCurve(state, total);
+}
+BENCHMARK(BM_Fig10PhiCurve_PerPointCount)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig10PhiCurve_Sweep(benchmark::State& state) {
+  const DatasetPreset& preset = PresetArg(state);
+  const TimeSeriesGraph& graph = bench::BenchGraph(preset);
+  const QueryEngine engine(graph);
+  const SweepQuery sweep{{preset.default_delta}, preset.phi_sweep};
+  const QueryOptions options = bench::BenchQueryOptions(
+      QueryMode::kCount, preset.default_delta, preset.default_phi);
+  int64_t total = 0;
+  for (auto _ : state) {
+    const SweepResult result = engine.RunSweep(CurveMotif(), sweep, options);
+    total = 0;
+    for (const int64_t c : result.counts) total += c;
+    benchmark::DoNotOptimize(total);
+  }
+  ReportCurve(state, total);
+}
+BENCHMARK(BM_Fig10PhiCurve_Sweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flowmotif
+
+BENCHMARK_MAIN();

@@ -3,9 +3,17 @@
 // re-count motif instances, and report z-scores and empirical p-values
 // per motif (the Fig. 14 analysis in miniature).
 //
+// The whole catalog is analyzed with ONE AnalyzeAll call, the paper's
+// setup: a single permutation ensemble (and one cross-graph window
+// cache) serves every motif instead of being regenerated per motif.
+// The record/replay columns show where the time goes under skeleton
+// replay — the timestamp-only trace is recorded once on the real graph,
+// then the whole ensemble is answered by dense flow replays.
+//
 // Run: ./build/examples/significance_study [--scale=0.15] [--randomizations=10]
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/motif_catalog.h"
 #include "core/significance.h"
@@ -37,26 +45,42 @@ int main(int argc, char** argv) {
   options.phi = preset.default_phi;
   SignificanceAnalyzer analyzer(graph, options);
 
+  const std::vector<Motif> motifs = MotifCatalog::All();
+  const std::vector<SignificanceAnalyzer::MotifReport> reports =
+      analyzer.AnalyzeAll(motifs);
+
   std::cout << "Motif significance vs " << options.num_random_graphs
             << " flow-permuted graphs (delta=" << options.delta
             << ", phi=" << options.phi << "):\n";
   std::cout << std::left << std::setw(9) << "motif" << std::right
             << std::setw(8) << "real" << std::setw(10) << "rnd-mean"
             << std::setw(9) << "rnd-sd" << std::setw(9) << "z" << std::setw(8)
-            << "p" << "\n";
+            << "p" << std::setw(11) << "record-ms" << std::setw(11)
+            << "replay-ms" << "\n";
 
-  for (const Motif& motif : MotifCatalog::All()) {
-    SignificanceAnalyzer::MotifReport report = analyzer.Analyze(motif);
+  for (const SignificanceAnalyzer::MotifReport& report : reports) {
     std::cout << std::left << std::setw(9) << report.motif_name << std::right
               << std::setw(8) << report.real_count << std::setw(10)
               << std::fixed << std::setprecision(1)
               << report.random_summary.mean << std::setw(9)
               << report.random_summary.stddev << std::setw(9)
               << std::setprecision(2) << report.z_score << std::setw(8)
-              << report.p_value << "\n";
+              << report.p_value;
+    if (report.used_skeleton_replay) {
+      std::cout << std::setw(11) << std::setprecision(2)
+                << report.record_seconds * 1e3 << std::setw(11)
+                << report.replay_seconds * 1e3;
+    } else {
+      // Trace budget exceeded (or replay disabled): this motif ran the
+      // per-graph enumeration path instead.
+      std::cout << std::setw(11) << "-" << std::setw(11) << "enum";
+    }
+    std::cout << "\n";
   }
   std::cout << "\nHigh z-scores with p=0 mean the real network contains far"
                "\nmore high-flow motif instances than chance: flow is being"
-               "\ntransferred along paths, not generated independently.\n";
+               "\ntransferred along paths, not generated independently."
+               "\nrecord-ms is paid once on the real graph; replay-ms covers"
+               "\nall " << options.num_random_graphs << " replays.\n";
   return 0;
 }

@@ -92,15 +92,8 @@ int64_t InstanceCounter::CountMatch(const MatchBinding& binding,
                                     Result* result,
                                     WindowListMru* window_mru) const {
   const int m = motif_.num_edges();
-  std::vector<const EdgeSeries*> series(static_cast<size_t>(m));
-  for (int i = 0; i < m; ++i) {
-    const auto [src, dst] = motif_.edge(i);
-    const EdgeSeries* s = graph_.FindSeries(binding[static_cast<size_t>(src)],
-                                            binding[static_cast<size_t>(dst)]);
-    FLOWMOTIF_CHECK(s != nullptr)
-        << "binding is not a structural match of " << motif_.name();
-    series[static_cast<size_t>(i)] = s;
-  }
+  std::vector<const EdgeSeries*> series;
+  ResolveMatchSeries(graph_, motif_, binding, &series);
 
   WindowListMru local_mru;
   const std::vector<Window>& windows =

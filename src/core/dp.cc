@@ -31,17 +31,8 @@ void MaxFlowDpSearcher::CheckScratch(Scratch* scratch) const {
 
 const std::vector<Window>& MaxFlowDpSearcher::BeginMatch(
     const MatchBinding& binding, Scratch* scratch) const {
-  const size_t m = static_cast<size_t>(motif_.num_edges());
   std::vector<const EdgeSeries*>& series = scratch->series;
-  series.resize(m);
-  for (size_t i = 0; i < m; ++i) {
-    const auto [src, dst] = motif_.edge(static_cast<int>(i));
-    const EdgeSeries* s = graph_.FindSeries(binding[static_cast<size_t>(src)],
-                                            binding[static_cast<size_t>(dst)]);
-    FLOWMOTIF_CHECK(s != nullptr)
-        << "binding is not a structural match of " << motif_.name();
-    series[i] = s;
-  }
+  ResolveMatchSeries(graph_, motif_, binding, &series);
 
   // Window cursors restart from the series fronts for every match; they
   // only ever move forward within one match's window sweep.

@@ -167,16 +167,7 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
                                          EnumerationResult* result) const {
   const int m = motif_.num_edges();
   Context ctx;
-  ctx.series.resize(static_cast<size_t>(m));
-  for (int i = 0; i < m; ++i) {
-    const auto [src, dst] = motif_.edge(i);
-    const EdgeSeries* series =
-        graph_.FindSeries(binding[static_cast<size_t>(src)],
-                          binding[static_cast<size_t>(dst)]);
-    FLOWMOTIF_CHECK(series != nullptr)
-        << "binding is not a structural match of " << motif_.name();
-    ctx.series[static_cast<size_t>(i)] = series;
-  }
+  ResolveMatchSeries(graph_, motif_, binding, &ctx.series);
   ctx.slices.resize(static_cast<size_t>(m));
   ctx.level_limit.assign(static_cast<size_t>(m), 0);
   ctx.binding = &binding;

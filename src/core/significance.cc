@@ -5,6 +5,7 @@
 #include "core/structural_match.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace flowmotif {
 
@@ -40,6 +41,127 @@ std::vector<TimeSeriesGraph> SignificanceAnalyzer::GeneratePermutedViews()
     views.push_back(graph_.WithPermutedFlows(&rng));
   }
   return views;
+}
+
+std::vector<std::vector<Flow>> SignificanceAnalyzer::GeneratePermutedFlows()
+    const {
+  FlowPermutationStream stream(graph_, options_.seed);
+  std::vector<std::vector<Flow>> permuted(
+      static_cast<size_t>(options_.num_random_graphs));
+  for (auto& flows : permuted) stream.NextPermutationInto(&flows);
+  return permuted;
+}
+
+bool SignificanceAnalyzer::RecordSkeleton(const Motif& motif,
+                                          const PreparedMotif& prepared,
+                                          SharedWindowCache* cache,
+                                          EnumerationSkeleton* skeleton) const {
+  EnumerationSkeleton::Options sk_options;
+  sk_options.max_edges = options_.max_skeleton_edges;
+  if (options_.reuse_matches) {
+    return skeleton->Record(graph_, motif, options_.delta, prepared.matches,
+                            cache, sk_options);
+  }
+  // reuse_matches off means the fallback path re-runs P1 per graph, but
+  // recording still needs the real graph's matches (they are identical
+  // on every permutation, so the recorded skeleton serves all tasks).
+  const StructuralMatcher matcher(graph_, motif);
+  const std::vector<MatchBinding> matches =
+      options_.pool != nullptr ? matcher.FindAllMatchesParallel(options_.pool)
+                               : matcher.FindAllMatches();
+  return skeleton->Record(graph_, motif, options_.delta, matches, cache,
+                          sk_options);
+}
+
+void SignificanceAnalyzer::ReplayEnsemble(
+    const EnumerationSkeleton& skeleton,
+    const std::vector<std::vector<Flow>>& permuted_flows,
+    std::vector<int64_t>* counts) const {
+  const int64_t num_tasks = static_cast<int64_t>(permuted_flows.size()) + 1;
+  counts->assign(static_cast<size_t>(num_tasks), 0);
+  if (options_.pool != nullptr) {
+    options_.pool->ParallelFor(num_tasks, [&](int64_t task) {
+      FlowPrefixArena arena;
+      if (task == 0) {
+        arena.FillFromGraph(graph_);
+      } else {
+        arena.FillFromFlows(graph_,
+                            permuted_flows[static_cast<size_t>(task - 1)]);
+      }
+      SkeletonReplayer replayer(&skeleton);
+      (*counts)[static_cast<size_t>(task)] =
+          replayer.Count(arena, options_.phi);
+    });
+    return;
+  }
+  FlowPrefixArena arena;
+  SkeletonReplayer replayer(&skeleton);
+  for (int64_t task = 0; task < num_tasks; ++task) {
+    if (task == 0) {
+      arena.FillFromGraph(graph_);
+    } else {
+      arena.FillFromFlows(graph_,
+                          permuted_flows[static_cast<size_t>(task - 1)]);
+    }
+    (*counts)[static_cast<size_t>(task)] = replayer.Count(arena, options_.phi);
+  }
+}
+
+void SignificanceAnalyzer::ReplayEnsembleStreaming(
+    const EnumerationSkeleton& skeleton, std::vector<int64_t>* counts) const {
+  const int64_t num_tasks = options_.num_random_graphs + 1;  // 0 = real
+  counts->assign(static_cast<size_t>(num_tasks), 0);
+  FlowPermutationStream stream(graph_, options_.seed);
+
+  if (options_.pool == nullptr) {
+    // One flow buffer, one arena, one replayer for the whole ensemble:
+    // a task is draw-into-buffer, rebuild-prefixes, fused kernel pass.
+    FlowPrefixArena arena;
+    SkeletonReplayer replayer(&skeleton);
+    std::vector<Flow> flows;
+    arena.FillFromGraph(graph_);
+    (*counts)[0] = replayer.Count(arena, options_.phi);
+    for (int64_t task = 1; task < num_tasks; ++task) {
+      stream.NextPermutationInto(&flows);
+      arena.FillFromFlows(graph_, flows);
+      (*counts)[static_cast<size_t>(task)] =
+          replayer.Count(arena, options_.phi);
+    }
+    return;
+  }
+
+  // Pool path: waves of pool-width tasks. Draws stay serial (the seeded
+  // stream is one stream), fills and kernel passes parallelize; slot
+  // state persists across waves so only the first wave pays allocation.
+  const int64_t wave_width =
+      std::max<int64_t>(1, options_.pool->num_threads());
+  std::vector<FlowPrefixArena> arenas(static_cast<size_t>(wave_width));
+  std::vector<std::vector<Flow>> slot_flows(static_cast<size_t>(wave_width));
+  std::vector<SkeletonReplayer> replayers;
+  replayers.reserve(static_cast<size_t>(wave_width));
+  for (int64_t s = 0; s < wave_width; ++s) replayers.emplace_back(&skeleton);
+  for (int64_t wave_first = 0; wave_first < num_tasks;
+       wave_first += wave_width) {
+    const int64_t wave_limit = std::min(num_tasks, wave_first + wave_width);
+    for (int64_t t = std::max<int64_t>(1, wave_first); t < wave_limit; ++t) {
+      stream.NextPermutationInto(&slot_flows[static_cast<size_t>(
+          t - wave_first)]);
+    }
+    options_.pool->ParallelFor(
+        wave_limit - wave_first, [&](int64_t offset) {
+          const int64_t task = wave_first + offset;
+          FlowPrefixArena& arena = arenas[static_cast<size_t>(offset)];
+          if (task == 0) {
+            arena.FillFromGraph(graph_);
+          } else {
+            arena.FillFromFlows(graph_,
+                                slot_flows[static_cast<size_t>(offset)]);
+          }
+          (*counts)[static_cast<size_t>(task)] =
+              replayers[static_cast<size_t>(offset)].Count(arena,
+                                                           options_.phi);
+        });
+  }
 }
 
 SignificanceAnalyzer::PreparedMotif SignificanceAnalyzer::Prepare(
@@ -100,6 +222,32 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
                           /*cross_graph=*/true);
   const PreparedMotif prepared = Prepare(motif, &cache);
 
+  // Record-once / replay-many fast path: one timestamp-only recording
+  // on the real graph, then every task is a dense kernel pass. The
+  // recording consults no flows and no RNG, so a bypass (trace budget)
+  // falls through to the enumeration path below with the seeded stream
+  // untouched — the fallback is bit-identical to skeleton_replay=false.
+  if (options_.skeleton_replay) {
+    EnumerationSkeleton skeleton;
+    WallTimer record_timer;
+    if (RecordSkeleton(motif, prepared, &cache, &skeleton)) {
+      const double record_seconds = record_timer.ElapsedSeconds();
+      WallTimer replay_timer;
+      // Each ensemble task becomes one shuffle into a reused buffer
+      // plus one prefix rebuild and one kernel pass — no graph views,
+      // no per-task allocation. Draws are serial from the seeded
+      // stream, so permutation i matches view i for any pool size.
+      std::vector<int64_t> counts;
+      ReplayEnsembleStreaming(skeleton, &counts);
+      MotifReport report = BuildReport(motif, counts);
+      report.used_skeleton_replay = true;
+      report.skeleton_edges = static_cast<int64_t>(skeleton.num_edges());
+      report.record_seconds = record_seconds;
+      report.replay_seconds = replay_timer.ElapsedSeconds();
+      return report;
+    }
+  }
+
   // Counting proceeds in waves of pool-width many views so that at most
   // one wave of flow arrays is alive at a time — the serial path (wave
   // width 1) keeps the one-view-at-a-time memory profile. The views are
@@ -145,20 +293,53 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
 std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
     const std::vector<Motif>& motifs) const {
   // One ensemble and one warm window cache serve every motif: Analyze
-  // would redraw the identical views per motif (same seed, same serial
-  // stream), so hoisting changes no report — it only removes the
+  // would redraw the identical permutations per motif (same seed, same
+  // serial stream), so hoisting changes no report — it only removes the
   // N-permutations-per-motif regeneration and keeps the cache warm
   // across motifs (window lists depend on the series pair and delta,
-  // not on the motif shape). Holding the whole ensemble costs N flow
-  // arrays — the price of the paper's one-set-of-randomized-datasets
-  // setup; single-motif Analyze stays wave-bounded instead.
-  const std::vector<TimeSeriesGraph> views = GeneratePermutedViews();
+  // not on the motif shape). On the replay path the hoisted ensemble is
+  // N flat flow vectors; the view ensemble is only materialized — once,
+  // lazily — if some motif's recording is bypassed and the enumeration
+  // fallback needs actual graphs. Holding either costs N flow arrays —
+  // the price of the paper's one-set-of-randomized-datasets setup;
+  // single-motif Analyze regenerates per call instead.
   SharedWindowCache cache(options_.delta, kEnsembleCacheEntries,
                           /*cross_graph=*/true);
+  std::vector<std::vector<Flow>> permuted_flows;  // replay ensemble, lazy
+  std::vector<TimeSeriesGraph> views;             // fallback ensemble, lazy
+  bool permuted_flows_ready = false;
+  bool views_ready = false;
   std::vector<MotifReport> reports;
   reports.reserve(motifs.size());
   for (const Motif& motif : motifs) {
     const PreparedMotif prepared = Prepare(motif, &cache);
+
+    if (options_.skeleton_replay) {
+      EnumerationSkeleton skeleton;
+      WallTimer record_timer;
+      if (RecordSkeleton(motif, prepared, &cache, &skeleton)) {
+        const double record_seconds = record_timer.ElapsedSeconds();
+        WallTimer replay_timer;
+        if (!permuted_flows_ready) {
+          permuted_flows = GeneratePermutedFlows();
+          permuted_flows_ready = true;
+        }
+        std::vector<int64_t> counts;
+        ReplayEnsemble(skeleton, permuted_flows, &counts);
+        MotifReport report = BuildReport(motif, counts);
+        report.used_skeleton_replay = true;
+        report.skeleton_edges = static_cast<int64_t>(skeleton.num_edges());
+        report.record_seconds = record_seconds;
+        report.replay_seconds = replay_timer.ElapsedSeconds();
+        reports.push_back(std::move(report));
+        continue;
+      }
+    }
+
+    if (!views_ready) {
+      views = GeneratePermutedViews();
+      views_ready = true;
+    }
     const int64_t num_tasks = static_cast<int64_t>(views.size()) + 1;
     std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
     const auto count_one = [&](int64_t task) {

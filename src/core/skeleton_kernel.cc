@@ -1,0 +1,58 @@
+#include "core/skeleton_kernel.h"
+
+namespace flowmotif {
+namespace skeleton_kernel {
+
+void EvaluateEdgeFlows(const double* prefix, const uint32_t* lo,
+                       const uint32_t* hi, size_t n, double* flows) {
+  for (size_t i = 0; i < n; ++i) {
+    flows[i] = prefix[hi[i]] - prefix[lo[i]];
+  }
+}
+
+int64_t AccumulateStates(const double* flows, double phi,
+                         const uint32_t* child, const uint32_t* state_begin,
+                         size_t num_states, const uint32_t* roots,
+                         size_t num_roots, int64_t* values) {
+  values[0] = 1;  // unit state
+  for (size_t s = 1; s < num_states; ++s) {
+    const size_t begin = state_begin[s];
+    const size_t end = state_begin[s + 1];
+    int64_t acc = 0;
+    for (size_t e = begin; e < end; ++e) {
+      // Branchless phi mask: the comparison becomes a 0/1 multiplier,
+      // so the inner loop has no data-dependent branches to mispredict
+      // and vectorizes as a compare + masked add.
+      acc += static_cast<int64_t>(flows[e] >= phi) * values[child[e]];
+    }
+    values[s] = acc;
+  }
+  int64_t total = 0;
+  for (size_t r = 0; r < num_roots; ++r) total += values[roots[r]];
+  return total;
+}
+
+int64_t AccumulateStatesFused(const double* prefix, const uint32_t* lo,
+                              const uint32_t* hi, double phi,
+                              const uint32_t* child,
+                              const uint32_t* state_begin, size_t num_states,
+                              const uint32_t* roots, size_t num_roots,
+                              int64_t* values) {
+  values[0] = 1;
+  for (size_t s = 1; s < num_states; ++s) {
+    const size_t begin = state_begin[s];
+    const size_t end = state_begin[s + 1];
+    int64_t acc = 0;
+    for (size_t e = begin; e < end; ++e) {
+      const double flow = prefix[hi[e]] - prefix[lo[e]];
+      acc += static_cast<int64_t>(flow >= phi) * values[child[e]];
+    }
+    values[s] = acc;
+  }
+  int64_t total = 0;
+  for (size_t r = 0; r < num_roots; ++r) total += values[roots[r]];
+  return total;
+}
+
+}  // namespace skeleton_kernel
+}  // namespace flowmotif

@@ -1,0 +1,54 @@
+#ifndef FLOWMOTIF_CORE_SKELETON_KERNEL_H_
+#define FLOWMOTIF_CORE_SKELETON_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flowmotif {
+namespace skeleton_kernel {
+
+/// Dense replay passes over a recorded enumeration skeleton
+/// (core/skeleton.h). Both kernels are straight-line loops over flat
+/// arrays — no pointer chasing, no recursion, no branches on the flow
+/// values — so compilers auto-vectorize the arithmetic (the gathers
+/// through lo/hi/child are the only indirections, and they are
+/// contiguous in trace order). A portable scalar build is the
+/// fallback; no arch-specific intrinsics are used.
+
+/// flows[i] = prefix[hi[i]] - prefix[lo[i]] for i in [0, n): the Eq. 2
+/// flow of every recorded slice as one prefix-sum subtraction pass.
+void EvaluateEdgeFlows(const double* prefix, const uint32_t* lo,
+                       const uint32_t* hi, size_t n, double* flows);
+
+/// The linear DP over the recorded state DAG: state 0 is the unit state
+/// (value 1); for s >= 1, states are in post order (every edge's child
+/// precedes its parent), so
+///
+///   values[s] = sum over edges e of s of (flows[e] >= phi) * values[child[e]]
+///
+/// and the returned total is the sum of values over `roots` — the
+/// number of accepted enumeration leaves, i.e. the instance count.
+/// `state_begin` is the CSR edge offsets (size num_states + 1);
+/// `values` must hold num_states entries of scratch.
+int64_t AccumulateStates(const double* flows, double phi,
+                         const uint32_t* child, const uint32_t* state_begin,
+                         size_t num_states, const uint32_t* roots,
+                         size_t num_roots, int64_t* values);
+
+/// Fused single pass: AccumulateStates with the flow of each edge
+/// evaluated inline from the prefix arena instead of a precomputed
+/// flows array. One traversal, no intermediate buffer — the fast path
+/// when only one phi is asked of a flow assignment (the significance
+/// ensemble). Parameter layout matches the two kernels above; `lo`/`hi`
+/// index into `prefix`.
+int64_t AccumulateStatesFused(const double* prefix, const uint32_t* lo,
+                              const uint32_t* hi, double phi,
+                              const uint32_t* child,
+                              const uint32_t* state_begin, size_t num_states,
+                              const uint32_t* roots, size_t num_roots,
+                              int64_t* values);
+
+}  // namespace skeleton_kernel
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_CORE_SKELETON_KERNEL_H_

@@ -63,6 +63,87 @@ void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
   }
 }
 
+void ComputeProcessedWindowsMulti(const EdgeSeries& first,
+                                  const EdgeSeries& last,
+                                  const std::vector<Timestamp>& deltas,
+                                  std::vector<std::vector<Window>>* out) {
+  const size_t n = deltas.size();
+  out->resize(n);
+  for (std::vector<Window>& w : *out) w.clear();
+  if (n == 0) return;
+
+  // The largest delta runs first, alone: a window needs an R(em)
+  // element inside [anchor, anchor + delta], and that interval only
+  // shrinks with delta, so an empty list at the maximum proves every
+  // other list empty. Sweep recording calls this once per structural
+  // match and most matches die exactly here — they pay one single-delta
+  // scan instead of a |deltas|-wide one.
+  size_t widest = 0;
+  for (size_t d = 1; d < n; ++d) {
+    if (deltas[d] > deltas[widest]) widest = d;
+  }
+  ComputeProcessedWindows(first, last, deltas[widest], &(*out)[widest]);
+  if (n == 1 || (*out)[widest].empty()) return;
+
+  // Per-delta copies of the single-delta scan's state (one contiguous
+  // struct per delta — the inner loop touches every field of each);
+  // the anchor walk and the R(em) reads are shared across all of them.
+  // `done` mirrors the single-delta early break (cursor ran off R(em));
+  // the shared loop stops once every delta is done. The state lives in
+  // a small stack buffer: this runs once per structural match, and a
+  // heap vector here was a measurable slice of sweep recording.
+  struct DeltaScan {
+    Timestamp delta;
+    Timestamp prev_end;
+    Timestamp prev_anchor;
+    size_t cursor;
+    size_t list;
+    bool have;
+    bool done;
+  };
+  constexpr size_t kInlineDeltas = 15;
+  DeltaScan inline_scans[kInlineDeltas];
+  std::vector<DeltaScan> heap_scans;
+  DeltaScan* scans = inline_scans;
+  const size_t num_scans = n - 1;  // `widest` is already done
+  if (num_scans > kInlineDeltas) {
+    heap_scans.resize(num_scans);
+    scans = heap_scans.data();
+  }
+  for (size_t d = 0, k = 0; d < n; ++d) {
+    if (d == widest) continue;
+    scans[k++] = DeltaScan{deltas[d], 0, 0, 0, d, false, false};
+  }
+  size_t num_done = 0;
+  const size_t last_size = last.size();
+  for (size_t i = 0; i < first.size() && num_done < num_scans; ++i) {
+    const Timestamp anchor = first.time(i);
+    for (size_t k = 0; k < num_scans; ++k) {
+      DeltaScan& s = scans[k];
+      if (s.done) continue;
+      if (s.have && anchor == s.prev_anchor) continue;
+      const Timestamp end = WindowEndSaturating(anchor, s.delta);
+      size_t c = s.cursor;
+      if (s.have) {
+        while (c < last_size && last.time(c) <= s.prev_end) ++c;
+      } else {
+        while (c < last_size && last.time(c) < anchor) ++c;
+      }
+      s.cursor = c;
+      if (c >= last_size) {
+        s.done = true;
+        ++num_done;
+        continue;
+      }
+      if (last.time(c) > end) continue;
+      (*out)[s.list].push_back(Window{anchor, end});
+      s.prev_end = end;
+      s.prev_anchor = anchor;
+      s.have = true;
+    }
+  }
+}
+
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
                                       Timestamp delta) {
   std::vector<Window> windows;

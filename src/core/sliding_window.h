@@ -58,6 +58,20 @@ void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
                                       Timestamp delta);
 
+/// ComputeProcessedWindows for several deltas in one anchor scan:
+/// (*out)[d] receives exactly the list ComputeProcessedWindows(first,
+/// last, deltas[d]) would return (each delta keeps its own novelty
+/// state, so the per-delta outputs are element-for-element identical).
+/// Sweep recording uses this because the scan's cost is dominated by
+/// walking the two series — shared here — not by the per-delta
+/// bookkeeping; a delta grid then pays one pass over the match's series
+/// instead of one per grid point. `out` is resized to deltas.size() and
+/// each list cleared first.
+void ComputeProcessedWindowsMulti(const EdgeSeries& first,
+                                  const EdgeSeries& last,
+                                  const std::vector<Timestamp>& deltas,
+                                  std::vector<std::vector<Window>>* out);
+
 }  // namespace flowmotif
 
 #endif  // FLOWMOTIF_CORE_SLIDING_WINDOW_H_

@@ -44,6 +44,21 @@ SharedWindowCache* ResolveWindowCache(
   return nullptr;
 }
 
+void ResolveMatchSeries(const TimeSeriesGraph& graph, const Motif& motif,
+                        const MatchBinding& binding,
+                        std::vector<const EdgeSeries*>* series) {
+  const int m = motif.num_edges();
+  series->resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const auto [src, dst] = motif.edge(i);
+    const EdgeSeries* s = graph.FindSeries(binding[static_cast<size_t>(src)],
+                                           binding[static_cast<size_t>(dst)]);
+    FLOWMOTIF_CHECK(s != nullptr)
+        << "binding is not a structural match of " << motif.name();
+    (*series)[static_cast<size_t>(i)] = s;
+  }
+}
+
 void UnionTimeline::Build(const std::vector<const EdgeSeries*>& series,
                           const WindowCursorSet& cursors) {
   const size_t m = series.size();

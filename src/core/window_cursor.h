@@ -9,6 +9,7 @@
 #include "core/motif.h"
 #include "core/sliding_window.h"
 #include "graph/edge_series.h"
+#include "graph/time_series_graph.h"
 #include "graph/types.h"
 
 namespace flowmotif {
@@ -50,6 +51,16 @@ bool ShouldUseWindowCache(const SharedWindowCache* cache, const Motif& motif);
 SharedWindowCache* ResolveWindowCache(
     SharedWindowCache* injected, const Motif& motif, Timestamp delta,
     std::unique_ptr<SharedWindowCache>* owned);
+
+/// Resolves one structural match's per-level series: the motif's
+/// label-ordered edges mapped through `binding` via graph.FindSeries.
+/// Shared by every per-match evaluation path (enumerator, counter, DP,
+/// skeleton recorder) so the binding-to-series contract — and its
+/// not-a-match check — cannot drift between them. `series` is resized
+/// to the motif's edge count.
+void ResolveMatchSeries(const TimeSeriesGraph& graph, const Motif& motif,
+                        const MatchBinding& binding,
+                        std::vector<const EdgeSeries*>* series);
 
 /// Per-series sliding cursors over one match's window sweep:
 /// lo[k] = LowerBound(window.start), hi[k] = UpperBound(window.end) of

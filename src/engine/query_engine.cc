@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/counter.h"
+#include "core/skeleton.h"
 #include "core/window_cursor.h"
 #include "engine/batching.h"
 #include "util/logging.h"
@@ -236,6 +237,89 @@ QueryResult QueryEngine::RunOnMatches(const Motif& motif,
   WallTimer wall;
   ThreadPool pool(ResolveThreads(options));
   QueryResult result = Dispatch(motif, matches, options, &pool);
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+SweepResult QueryEngine::RunSweep(const Motif& motif, const SweepQuery& sweep,
+                                  const QueryOptions& options) const {
+  FLOWMOTIF_CHECK(!sweep.deltas.empty()) << "sweep needs at least one delta";
+  FLOWMOTIF_CHECK(!sweep.phis.empty()) << "sweep needs at least one phi";
+  WallTimer wall;
+  ThreadPool pool(ResolveThreads(options));
+  SweepResult result;
+  result.deltas = sweep.deltas;
+  result.phis = sweep.phis;
+  result.counts.assign(sweep.deltas.size() * sweep.phis.size(), 0);
+  result.threads_used = pool.num_threads();
+
+  // Phase P1 once for the whole grid: structural matches depend on
+  // neither delta nor phi, so per-point querying re-derives the same
+  // list |grid| times.
+  const StructuralMatcher matcher(graph_, motif);
+  const std::vector<MatchBinding> matches =
+      pool.num_threads() == 1 ? matcher.FindAllMatches()
+                              : matcher.FindAllMatchesParallel(&pool);
+  result.num_structural_matches = static_cast<int64_t>(matches.size());
+
+  // Deltas are recorded largest-first regardless of the caller's grid
+  // order: RecordSweepDescending makes one pass over the match list,
+  // recording every delta's skeleton while each match's series are hot
+  // and cascading per-match viability (no phi = 0 completion at a
+  // larger delta proves the match dead for all smaller ones — windows
+  // shrink monotonically with delta and raising phi only removes
+  // instances). On the Fig. 9 presets the bulk of structural matches
+  // are dead, so the grid's tail costs O(|viable|), not O(|matches|).
+  std::vector<size_t> order(sweep.deltas.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&sweep](size_t a, size_t b) {
+    return sweep.deltas[a] > sweep.deltas[b];
+  });
+  for (const Timestamp delta : sweep.deltas) FLOWMOTIF_CHECK_GE(delta, 0);
+
+  std::vector<EnumerationSkeleton> skeletons;  // aligned with `order`
+  if (options.skeleton_replay) {
+    std::vector<Timestamp> descending(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      descending[i] = sweep.deltas[order[i]];
+    }
+    EnumerationSkeleton::RecordSweepDescending(
+        graph_, motif, descending, matches, EnumerationSkeleton::Options(),
+        &skeletons);
+  }
+
+  FlowPrefixArena arena;  // real-graph prefixes; filled once, delta-free
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t d = order[i];
+    const Timestamp delta = sweep.deltas[d];
+    int64_t* row = result.counts.data() + d * sweep.phis.size();
+    if (options.skeleton_replay && skeletons[i].recorded()) {
+      // The recorded trace is phi-free: evaluate every slice flow once,
+      // then each phi is one linear DP pass over the cached flows.
+      if (arena.size() == 0) arena.FillFromGraph(graph_);
+      SkeletonReplayer replayer(&skeletons[i]);
+      replayer.EvaluateFlows(arena);
+      for (size_t p = 0; p < sweep.phis.size(); ++p) {
+        row[p] = replayer.CountWithFlows(sweep.phis[p]);
+      }
+      ++result.num_replayed_deltas;
+      continue;
+    }
+    // Fallback (replay disabled or this delta's recording abandoned on
+    // budget): ordinary memoized counting per cell over the shared
+    // match list — the per-point kCount path minus its redundant P1
+    // runs.
+    for (size_t p = 0; p < sweep.phis.size(); ++p) {
+      QueryOptions cell = options;
+      cell.mode = QueryMode::kCount;
+      cell.delta = delta;
+      cell.phi = sweep.phis[p];
+      QueryResult cell_result;
+      RunCount(motif, matches, cell, &pool, &cell_result);
+      row[p] = cell_result.stats.num_instances;
+      ++result.num_fallback_cells;
+    }
+  }
   result.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
@@ -629,6 +713,7 @@ void QueryEngine::RunSignificance(const Motif& motif,
   sopts.delta = options.delta;
   sopts.phi = options.phi;
   sopts.reuse_matches = true;
+  sopts.skeleton_replay = options.skeleton_replay;
   sopts.pool = pool;
   // Unlike the other modes, the per-query window cache is owned by the
   // analyzer, not created here: the analyzer's cache is cross-graph

@@ -64,6 +64,30 @@ struct QueryResult {
   double wall_seconds = 0.0;
 };
 
+/// Result of QueryEngine::RunSweep: one instance count per cell of the
+/// SweepQuery grid, row-major over (delta, phi). Cell (d, p) holds
+/// exactly the num_instances a kCount Run at (deltas[d], phis[p]) would
+/// report — the sweep equivalence tests lock this in.
+struct SweepResult {
+  std::vector<Timestamp> deltas;
+  std::vector<Flow> phis;
+  std::vector<int64_t> counts;  // counts[d * phis.size() + p]
+
+  int64_t count(size_t d, size_t p) const {
+    return counts[d * phis.size() + p];
+  }
+
+  /// Execution footprint: matches are computed once for the grid;
+  /// each delta is either answered by one recording + |phis| replays
+  /// (num_replayed_deltas) or by per-cell memoized counting
+  /// (num_fallback_cells).
+  int64_t num_structural_matches = 0;
+  int64_t num_replayed_deltas = 0;
+  int64_t num_fallback_cells = 0;
+  int threads_used = 1;
+  double wall_seconds = 0.0;
+};
+
 /// The single entry point for flow motif queries: one facade over the
 /// four paper query modes (threshold enumeration, top-k, top-1 DP,
 /// significance) plus construction-free counting, configured by one
@@ -100,6 +124,15 @@ class QueryEngine {
   QueryResult RunOnMatches(const Motif& motif,
                            const std::vector<MatchBinding>& matches,
                            const QueryOptions& options) const;
+
+  /// Evaluates a whole delta x phi count grid in one pass (Fig. 9/10
+  /// curves): phase P1 once, one skeleton recording per delta, one
+  /// replay per phi — instead of one full two-phase query per cell.
+  /// Cells equal per-point kCount runs byte-for-byte. QueryOptions
+  /// supplies execution knobs (num_threads, skeleton_replay,
+  /// batch_size); its mode/delta/phi fields are ignored.
+  SweepResult RunSweep(const Motif& motif, const SweepQuery& sweep,
+                       const QueryOptions& options) const;
 
   const TimeSeriesGraph& graph() const { return graph_; }
 

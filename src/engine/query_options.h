@@ -2,6 +2,7 @@
 #define FLOWMOTIF_ENGINE_QUERY_OPTIONS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/types.h"
 
@@ -52,6 +53,24 @@ struct QueryOptions {
   /// Structural matches per parallel batch; 0 derives a size that gives
   /// each thread several batches for load balancing.
   int64_t batch_size = 0;
+
+  /// kSignificance and RunSweep: use record-once / replay-many
+  /// enumeration skeletons (core/skeleton.h) where applicable. Counts
+  /// and reports are identical either way (the equivalence tests lock
+  /// this in); disable to force per-graph / per-cell enumeration. Both
+  /// paths fall back on their own when recording is bypassed (trace
+  /// budget exceeded).
+  bool skeleton_replay = true;
+};
+
+/// A delta x phi evaluation grid for QueryEngine::RunSweep — the shape
+/// of the paper's Fig. 9 (counts vs delta) and Fig. 10 (counts vs phi)
+/// curves. The whole grid is answered in one sweep: phase P1 runs once,
+/// each delta's enumeration skeleton is recorded once, and every phi of
+/// that delta is a replay of the recorded trace.
+struct SweepQuery {
+  std::vector<Timestamp> deltas;
+  std::vector<Flow> phis;
 };
 
 }  // namespace flowmotif

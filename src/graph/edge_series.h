@@ -63,6 +63,12 @@ class EdgeSeries {
   const std::vector<Timestamp>& times() const { return *times_; }
   const std::vector<Flow>& flows() const { return flows_; }
 
+  /// The flow prefix sums: size() + 1 entries with
+  /// prefix_sums()[i] = sum of flows()[0..i-1]. Exposed so the replay
+  /// arena (core/skeleton.h) can lay the ensemble's prefix arrays out
+  /// flat without re-deriving them.
+  const std::vector<double>& prefix_sums() const { return prefix_; }
+
   /// Sum of flows over the inclusive index range [i, j]; 0 if i > j.
   Flow FlowSum(size_t i, size_t j) const {
     if (i > j || j >= size()) return 0.0;

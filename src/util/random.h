@@ -18,8 +18,20 @@ class Rng {
   /// Seeds the generator; identical seeds yield identical streams.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Next raw 64-bit value.
-  uint64_t Next();
+  /// Next raw 64-bit value (xoshiro256**). Inline: RNG-bound loops —
+  /// dataset generation, the significance module's permutation draws —
+  /// keep the state in registers instead of paying a call per draw.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
   /// sampling, so the result is unbiased.
@@ -65,6 +77,10 @@ class Rng {
   }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t state_[4];
 
   // Cached Zipf CDF so repeated draws with the same parameters are cheap.

@@ -225,6 +225,55 @@ TEST(SignificanceEquivalenceTest, AnalyzeAllMatchesPerMotifAnalyze) {
   }
 }
 
+// The three execution paths — skeleton replay (default), replay
+// disabled, and replay requested but bypassed by a tiny trace budget —
+// must all equal the copying reference, and the report must say which
+// path ran.
+TEST(SignificanceEquivalenceTest, ReplayOffAndForcedBypassMatchReference) {
+  for (const uint64_t seed : {7u, 19u}) {
+    const TimeSeriesGraph graph = RandomGraph(seed, 6, 70, 35);
+    const SignificanceAnalyzer::Options base = BaseOptions(seed);
+    const Motif motif = *MotifCatalog::ByName("M(4,3)");
+    const SignificanceAnalyzer::MotifReport expected =
+        ReferenceAnalyze(graph, motif, base);
+
+    SignificanceAnalyzer::Options replay_on = base;
+    const SignificanceAnalyzer with_replay(graph, replay_on);
+    const SignificanceAnalyzer::MotifReport on_report =
+        with_replay.Analyze(motif);
+    ExpectReportsEqual(expected, on_report, "replay on");
+    EXPECT_TRUE(on_report.used_skeleton_replay);
+    EXPECT_GT(on_report.skeleton_edges, 0);
+
+    SignificanceAnalyzer::Options replay_off = base;
+    replay_off.skeleton_replay = false;
+    const SignificanceAnalyzer without_replay(graph, replay_off);
+    const SignificanceAnalyzer::MotifReport off_report =
+        without_replay.Analyze(motif);
+    ExpectReportsEqual(expected, off_report, "replay off");
+    EXPECT_FALSE(off_report.used_skeleton_replay);
+    EXPECT_EQ(off_report.skeleton_edges, 0);
+
+    // Budget bypass: recording consults no RNG, so falling back after a
+    // bypassed recording must leave the seeded stream — and the report —
+    // exactly as skeleton_replay=false produces.
+    SignificanceAnalyzer::Options bypass = base;
+    bypass.max_skeleton_edges = 1;
+    const SignificanceAnalyzer bypassed(graph, bypass);
+    const SignificanceAnalyzer::MotifReport bypass_report =
+        bypassed.Analyze(motif);
+    ExpectReportsEqual(expected, bypass_report, "budget bypass");
+    EXPECT_FALSE(bypass_report.used_skeleton_replay);
+
+    // AnalyzeAll under a bypass budget takes its fallback lazily; the
+    // reports must be unchanged.
+    const std::vector<SignificanceAnalyzer::MotifReport> all =
+        bypassed.AnalyzeAll({motif});
+    ASSERT_EQ(all.size(), 1u);
+    ExpectReportsEqual(expected, all[0], "AnalyzeAll budget bypass");
+  }
+}
+
 // Degenerate shapes: delta = 0 windows, duplicate timestamps, phi = 0
 // (permutation cannot change counts at all), single-interaction series.
 TEST(SignificanceEquivalenceTest, DegenerateInputs) {

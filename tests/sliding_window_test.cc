@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <random>
 #include <vector>
 
 namespace flowmotif {
@@ -132,6 +133,42 @@ TEST(SlidingWindowTest, MinimumTimestampDuplicateAnchorsProduceOneWindow) {
   ASSERT_EQ(windows.size(), 2u);
   EXPECT_EQ(windows[0], (Window{kMin, kMin + 10}));
   EXPECT_EQ(windows[1], (Window{kMin + 3, kMin + 13}));
+}
+
+TEST(SlidingWindowTest, MultiDeltaScanMatchesSingleDeltaScans) {
+  // ComputeProcessedWindowsMulti promises element-for-element identity
+  // with the per-delta scan, for any delta ordering (including
+  // duplicates and delta = 0) and any overlap of the two series.
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t fn = rng() % 12;
+    const size_t ln = 1 + rng() % 12;
+    std::vector<Timestamp> ft, lt;
+    Timestamp t = rng() % 50;
+    for (size_t i = 0; i < fn; ++i) ft.push_back(t += rng() % 7);
+    t = rng() % 50;
+    for (size_t i = 0; i < ln; ++i) lt.push_back(t += rng() % 7);
+    EdgeSeries first = Series(ft.empty() ? std::vector<Timestamp>{1} : ft);
+    EdgeSeries last = Series(lt);
+    std::vector<Timestamp> deltas;
+    const size_t nd = 1 + rng() % 6;
+    for (size_t d = 0; d < nd; ++d) deltas.push_back(rng() % 40);
+    std::vector<std::vector<Window>> multi;
+    ComputeProcessedWindowsMulti(first, last, deltas, &multi);
+    ASSERT_EQ(multi.size(), deltas.size());
+    for (size_t d = 0; d < deltas.size(); ++d) {
+      EXPECT_EQ(multi[d], ComputeProcessedWindows(first, last, deltas[d]))
+          << "trial " << trial << " delta " << deltas[d];
+    }
+  }
+}
+
+TEST(SlidingWindowTest, MultiDeltaScanHandlesEmptyDeltaList) {
+  EdgeSeries first = Series({10, 13, 15, 18});
+  EdgeSeries last = Series({14, 19, 24, 25});
+  std::vector<std::vector<Window>> multi{{Window{1, 2}}};
+  ComputeProcessedWindowsMulti(first, last, {}, &multi);
+  EXPECT_TRUE(multi.empty());
 }
 
 TEST(SlidingWindowTest, WindowsAreOrderedAndNonRedundant) {

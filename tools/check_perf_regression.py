@@ -5,44 +5,92 @@ Usage:
     check_perf_regression.py --baseline BENCH_baseline.json \
         --current bench_dp_window.json [--max-regression 0.25]
 
-Compares `real_time` per benchmark name (single-thread entries only)
-against the baseline. A benchmark is a regression when
+Compares `real_time` per FULL benchmark name — including aggregate
+suffixes such as `_mean`/`_median` produced by --benchmark_repetitions —
+against the baseline (single-thread entries only). A benchmark is a
+regression when
 
     current_real_time > baseline_real_time * (1 + max_regression)
+
+Keying rules:
+
+  * The key is the row's `name` field verbatim. Aggregate rows keep
+    their suffix, so a `_median` in the baseline only ever compares
+    against a `_median` in the current run.
+  * Repetition rows of one benchmark share a name; they are merged
+    deterministically by taking the MINIMUM real_time (the
+    least-noise statistic on a contended runner). The old behaviour —
+    dict insertion overwriting, so whichever repetition happened to be
+    serialized last won — made the gate's verdict depend on run
+    ordering.
+  * Dispersion aggregates (`_stddev`, `_cv`) are not times and are
+    skipped; `real_time` is normalized through the row's `time_unit`,
+    so a harness switching from ns to ms reporting cannot fake a win
+    or a loss.
 
 Benchmarks present on only one side are reported but never fail the
 check: the baseline is a trajectory, and new benchmarks join it by
 having their first measured point committed.
 
+Every row is printed in one aligned table and ALL regressions are
+listed before the non-zero exit — a partial report that stops at the
+first failure hides whether a regression is local or across the board.
+
 The committed baseline predates the incremental-cursor rewrites (PR 3
-for the DP, PR 4 for the counter/join) and the significance-ensemble
-rewrite (PR 5: flow-permutation views + one cross-graph window cache,
-gated through bench_fig14_significance), so today's code sits far below
-it; the threshold exists to catch a rewrite that quietly gives those
-wins back. Cross-machine noise between the reference container and CI
-runners is real — that is why the threshold is a generous 25% and the
-gate compares against the slow pre-rewrite numbers rather than a
-same-machine previous run.
+for the DP, PR 4 for the counter/join), the significance-ensemble
+rewrite (PR 5), and the skeleton record/replay rewrite (PR 6:
+record-once traces + sweep queries, gated through
+bench_fig14_significance / bench_fig9_delta / bench_fig10_phi), so
+today's code sits far below it; the threshold exists to catch a rewrite
+that quietly gives those wins back. Cross-machine noise between the
+reference container and CI runners is real — that is why the threshold
+is a generous 25% and the gate compares against the slow pre-rewrite
+numbers rather than a same-machine previous run.
 """
 
 import argparse
 import json
 import sys
 
+# Multipliers to nanoseconds for google-benchmark's time_unit values.
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Aggregate rows that carry dispersion, not a representative time.
+_NON_TIME_AGGREGATES = {"stddev", "cv"}
+
 
 def load_benchmarks(path):
+    """Returns {full benchmark name: real_time in ns} for one JSON file.
+
+    Repetition rows sharing a name are merged by minimum; aggregate rows
+    keep their suffixed name as the key.
+    """
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    merged = {}
     for bench in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions)
-        # and anything multi-threaded: the gate tracks single-thread time.
-        if bench.get("run_type") == "aggregate":
-            continue
         if bench.get("threads", 1) != 1:
+            continue  # the gate tracks single-thread time
+        if bench.get("aggregate_name") in _NON_TIME_AGGREGATES:
             continue
-        out[bench["name"]] = float(bench["real_time"])
-    return out
+        name = bench["name"]
+        unit = bench.get("time_unit", "ns")
+        if unit not in _UNIT_TO_NS:
+            raise ValueError(f"{path}: unknown time_unit {unit!r} for {name}")
+        time_ns = float(bench["real_time"]) * _UNIT_TO_NS[unit]
+        if name in merged:
+            merged[name] = min(merged[name], time_ns)
+        else:
+            merged[name] = time_ns
+    return merged
+
+
+def format_ns(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f}us"
+    return f"{ns:.0f}ns"
 
 
 def main():
@@ -56,27 +104,42 @@ def main():
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
 
+    rows = []  # (status, name, baseline text, current text, ratio text)
     regressions = []
     for name, cur in sorted(current.items()):
         base = baseline.get(name)
         if base is None:
-            print(f"NEW       {name}: {cur:.3f} (no baseline entry)")
+            rows.append(("NEW", name, "-", format_ns(cur), "-"))
             continue
         ratio = cur / base if base > 0 else float("inf")
         status = "OK"
         if cur > base * (1.0 + args.max_regression):
             status = "REGRESSED"
             regressions.append((name, base, cur, ratio))
-        print(f"{status:9} {name}: baseline={base:.3f} current={cur:.3f} "
-              f"ratio={ratio:.2f}x")
+        rows.append((status, name, format_ns(base), format_ns(cur),
+                     f"{ratio:.2f}x"))
     for name in sorted(set(baseline) - set(current)):
-        print(f"MISSING   {name}: in baseline but not measured")
+        rows.append(("MISSING", name, format_ns(baseline[name]), "-", "-"))
+
+    if rows:
+        headers = ("status", "benchmark", "baseline", "current", "ratio")
+        widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
+                  for i in range(5)]
+        def emit(cells):
+            print("  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip())
+        emit(headers)
+        emit(tuple("-" * w for w in widths))
+        for r in rows:
+            emit(r)
+    else:
+        print("no comparable benchmarks found")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{args.max_regression:.0%} vs the committed baseline:")
         for name, base, cur, ratio in regressions:
-            print(f"  {name}: {base:.3f} -> {cur:.3f} ({ratio:.2f}x)")
+            print(f"  {name}: {format_ns(base)} -> {format_ns(cur)} "
+                  f"({ratio:.2f}x)")
         return 1
     print("\nno regressions past threshold")
     return 0
