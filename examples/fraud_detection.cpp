@@ -1,22 +1,33 @@
 // Fraud-detection scenario: the paper's introduction motivates flow
 // motifs with Financial Intelligence Units hunting suspicious transfer
 // patterns — cyclic transactions and chains of significant transfers
-// within a short window (Sec. 1).
+// within a short window (Sec. 1). An FIU does not get its transaction
+// log as a static file: transfers arrive continuously, and the analyst
+// wants standing queries whose answers stay current as the stream
+// grows.
 //
-// This example generates a bitcoin-like interaction network, then:
-//  1. counts cyclic-motif instances (money that returns to its origin);
-//  2. runs top-k search to surface the highest-flow cycles;
-//  3. groups activity per vertex set (structural match) to point at the
-//     "most active rings" an analyst would inspect first.
+// This example runs that continuous deployment end to end:
+//  1. generates a bitcoin-like interaction network and replays it as a
+//     time-ordered transfer stream;
+//  2. seeds a QueryEngine with the first half (the "historical
+//     backfill") and opens a live cyclic-motif query on it
+//     (QueryEngine::OpenStream -> StreamingMotifMonitor);
+//  3. replays the remaining transfers in batches, sealing an epoch per
+//     batch: the monitor maintains instance counts, a sliding-horizon
+//     live count, and the top-k highest-flow cycles incrementally, and
+//     fires an alert the moment a cycle settles above the alert bound;
+//  4. prints the final standing-query answers an analyst would see.
 //
 // Run: ./build/examples/fraud_detection [--scale=0.2] [--delta=600]
-//      [--k=5]
+//      [--k=5] [--batch=400] [--horizon=2592000]
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
-#include "core/match_activity.h"
 #include "core/motif_catalog.h"
-#include "core/topk.h"
+#include "engine/query_engine.h"
 #include "gen/presets.h"
+#include "stream/streaming_monitor.h"
 #include "util/flags.h"
 
 using namespace flowmotif;
@@ -25,7 +36,10 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddDouble("scale", 0.2, "dataset scale relative to the preset");
   flags.AddInt64("delta", 600, "max window length (seconds)");
-  flags.AddInt64("k", 5, "how many top rings to report");
+  flags.AddInt64("k", 5, "how many top cycles to track live");
+  flags.AddInt64("batch", 400, "transfers sealed per stream epoch");
+  flags.AddInt64("horizon", 30 * 86400,
+                 "sliding horizon (seconds) for the live instance count");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     std::cerr << s << "\n" << flags.HelpString();
@@ -33,33 +47,91 @@ int main(int argc, char** argv) {
   }
 
   const DatasetPreset& preset = GetPreset(DatasetKind::kBitcoin);
-  TimeSeriesGraph graph = GenerateDataset(preset, flags.GetDouble("scale"));
-  std::cout << "Transaction network: " << graph.DebugString() << "\n\n";
+  const TimeSeriesGraph full = GenerateDataset(preset, flags.GetDouble("scale"));
+  std::cout << "Transaction trace: " << full.DebugString() << "\n";
 
-  const Timestamp delta = flags.GetInt64("delta");
-  const int64_t k = flags.GetInt64("k");
+  // Flatten the generated graph back into its transfer trace, ordered
+  // by time — the stream a payment processor would deliver.
+  std::vector<InteractionGraph::Edge> trace;
+  for (const TimeSeriesGraph::PairEdge& pair : full.pairs()) {
+    for (size_t i = 0; i < pair.series.size(); ++i) {
+      const Interaction x = pair.series.at(i);
+      trace.push_back({pair.src, pair.dst, x.t, x.f});
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const InteractionGraph::Edge& a,
+                      const InteractionGraph::Edge& b) { return a.t < b.t; });
 
-  // --- 1. How common are closed money cycles vs. plain chains? ---------
-  for (const char* name : {"M(3,2)", "M(3,3)", "M(4,4)A"}) {
-    Motif motif = *MotifCatalog::ByName(name);
-    EnumerationOptions options;
-    options.delta = delta;
-    options.phi = preset.default_phi;
-    EnumerationResult result =
-        FlowMotifEnumerator(graph, motif, options).Run();
-    std::cout << name << (motif.HasCycle() ? " (cycle)" : " (chain)")
-              << ": " << result.num_instances << " instances, "
-              << result.num_structural_matches << " matches\n";
+  // Historical backfill: the first half of the trace seeds the engine.
+  const size_t backfill = trace.size() / 2;
+  InteractionGraph seed;
+  seed.EnsureVertices(full.num_vertices());
+  for (size_t i = 0; i < backfill; ++i) {
+    const InteractionGraph::Edge& e = trace[i];
+    Status st = seed.AddEdge(e.src, e.dst, e.t, e.f);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  const TimeSeriesGraph seed_graph = TimeSeriesGraph::Build(seed);
+  const QueryEngine engine(seed_graph);
+
+  // The standing query: closed money cycles (M(3,3)) of significant
+  // flow inside a delta-length window, with a live top-k, a sliding
+  // horizon, and an alert bound at 8x the preset's flow threshold.
+  const Motif cycle = *MotifCatalog::ByName("M(3,3)");
+  StreamOptions sopts;
+  sopts.delta = flags.GetInt64("delta");
+  sopts.phi = preset.default_phi;
+  sopts.k = flags.GetInt64("k");
+  sopts.horizon = flags.GetInt64("horizon");
+  sopts.alert_min_flow = 8 * preset.default_phi;
+  std::unique_ptr<StreamingMotifMonitor> monitor =
+      engine.OpenStream(cycle, sopts);
+
+  int64_t num_alerts = 0;
+  monitor->SetAlertCallback([&num_alerts](
+                                const StreamingMotifMonitor::Alert& alert) {
+    ++num_alerts;
+    std::cout << "  ALERT epoch " << alert.epoch << ": cycle users(";
+    for (size_t j = 0; j < alert.instance.binding.size(); ++j) {
+      std::cout << (j ? "," : "") << alert.instance.binding[j];
+    }
+    std::cout << ") flow=" << alert.flow << " settled at t=" << alert.end_time
+              << "\n";
+  });
+
+  std::cout << "Backfill (" << backfill << " transfers): "
+            << monitor->TotalInstances() << " cycle instances, "
+            << monitor->num_matches() << " candidate rings\n\n";
+
+  // Live replay: seal an epoch per batch of arriving transfers.
+  const size_t batch = static_cast<size_t>(flags.GetInt64("batch"));
+  std::cout << "Replaying " << trace.size() - backfill << " transfers in "
+            << "epochs of " << batch << " (delta=" << sopts.delta
+            << "s, horizon=" << sopts.horizon << "s, alert flow >= "
+            << sopts.alert_min_flow << "):\n";
+  size_t cursor = backfill;
+  while (cursor < trace.size()) {
+    const size_t end = std::min(cursor + batch, trace.size());
+    for (; cursor < end; ++cursor) monitor->Append(trace[cursor]);
+    const StreamingMotifMonitor::EpochStats stats = monitor->SealEpoch();
+    std::cout << "  epoch " << stats.epoch << ": +" << stats.num_appended
+              << " transfers, revisited " << stats.num_matches_revisited
+              << "/" << stats.num_matches_total << " rings (+"
+              << stats.num_new_matches << " new), settled "
+              << stats.num_instances_settled << " -> total "
+              << monitor->TotalInstances() << ", live "
+              << monitor->LiveInstances() << "\n";
   }
 
-  // --- 2. Highest-flow cycles: candidate laundering loops. --------------
-  Motif cycle = *MotifCatalog::ByName("M(3,3)");
-  TopKSearcher searcher(graph, cycle, delta, k);
-  TopKSearcher::Result top = searcher.Run();
-  std::cout << "\nTop-" << k << " cyclic transfers (delta=" << delta
-            << "s):\n";
-  for (size_t i = 0; i < top.entries.size(); ++i) {
-    const auto& entry = top.entries[i];
+  std::cout << "\nStanding top-" << sopts.k
+            << " cycles after the full stream:\n";
+  const std::vector<TopKEntry> top = monitor->TopK();
+  for (size_t i = 0; i < top.size(); ++i) {
+    const TopKEntry& entry = top[i];
     std::cout << "  #" << i + 1 << " flow=" << entry.flow << " users(";
     for (size_t j = 0; j < entry.instance.binding.size(); ++j) {
       std::cout << (j ? "," : "") << entry.instance.binding[j];
@@ -67,51 +139,9 @@ int main(int argc, char** argv) {
     std::cout << ") window=[" << entry.instance.StartTime() << ","
               << entry.instance.EndTime() << "]\n";
   }
-
-  // --- 3. Rings with the most repeated activity. -------------------------
-  EnumerationOptions options;
-  options.delta = delta;
-  options.phi = preset.default_phi;
-  MatchActivityAnalyzer activity(graph, cycle, options);
-  std::cout << "\nMost active rings (repeat offenders):\n";
-  for (const auto& ring : activity.TopMatches(k)) {
-    std::cout << "  users(";
-    for (size_t j = 0; j < ring.binding.size(); ++j) {
-      std::cout << (j ? "," : "") << ring.binding[j];
-    }
-    std::cout << ") instances=" << ring.instance_count
-              << " max_flow=" << ring.max_instance_flow
-              << " active=[" << ring.first_window_start << ","
-              << ring.last_window_start << "]\n";
-  }
-
-  // --- 4. Smurfing distribution: a general (non-path) fan-out motif. ------
-  // One account splits funds to two mules inside the window; phi makes
-  // sure each mule receives a significant aggregate even when the money
-  // arrives as many small payments (the FIU "smurfing" signature of the
-  // paper's introduction).
-  StatusOr<Motif> fan_out = Motif::Parse("0>1,0>2", "FanOut");
-  if (!fan_out.ok()) {
-    std::cerr << fan_out.status() << "\n";
-    return 1;
-  }
-  EnumerationOptions fan_options;
-  fan_options.delta = delta;
-  fan_options.phi = 4 * preset.default_phi;  // only significant aggregates
-  FlowMotifEnumerator fan_enumerator(graph, *fan_out, fan_options);
-  int64_t fan_shown = 0;
-  std::cout << "\nSmurfing fan-outs (phi=" << fan_options.phi << "):\n";
-  EnumerationResult fan_result =
-      fan_enumerator.Run([&fan_shown](const InstanceView& view) {
-        MotifInstance instance = view.Materialize();
-        std::cout << "  source " << instance.binding[0] << " -> mules ("
-                  << instance.binding[1] << "," << instance.binding[2]
-                  << ") payments=" << instance.edge_sets[0].size() << "+"
-                  << instance.edge_sets[1].size()
-                  << " min_aggregate=" << instance.InstanceFlow() << "\n";
-        return ++fan_shown < 5;  // show a handful
-      });
-  std::cout << "  (" << fan_result.num_instances
-            << " qualifying fan-outs found in total)\n";
+  std::cout << "\n" << num_alerts << " alerts fired; "
+            << monitor->LiveInstances() << " of "
+            << monitor->TotalInstances()
+            << " instances still inside the horizon\n";
   return 0;
 }

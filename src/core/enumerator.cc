@@ -222,6 +222,31 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
   return !ctx.stop;
 }
 
+bool FlowMotifEnumerator::EnumerateMatchWindows(
+    const MatchBinding& binding, const Window* windows_begin,
+    const Window* windows_end, const InstanceVisitor& visitor,
+    EnumerationResult* result) const {
+  const int m = motif_.num_edges();
+  Context ctx;
+  ResolveMatchSeries(graph_, motif_, binding, &ctx.series);
+  ctx.slices.resize(static_cast<size_t>(m));
+  ctx.level_limit.assign(static_cast<size_t>(m), 0);
+  ctx.binding = &binding;
+  ctx.visitor = &visitor;
+  ctx.result = result;
+
+  result->num_windows_processed +=
+      static_cast<int64_t>(windows_end - windows_begin);
+  for (const Window* window = windows_begin; window != windows_end;
+       ++window) {
+    if (ctx.stop) break;
+    ctx.AdvanceToWindow(*window);
+    ctx.min_flow_so_far = std::numeric_limits<Flow>::infinity();
+    Recurse(&ctx, 0, window->start);
+  }
+  return !ctx.stop;
+}
+
 EnumerationResult FlowMotifEnumerator::Run(
     const InstanceVisitor& visitor) const {
   EnumerationResult result;

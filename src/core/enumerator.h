@@ -160,6 +160,19 @@ class FlowMotifEnumerator {
                       const InstanceVisitor& visitor,
                       EnumerationResult* result) const;
 
+  /// Phase P2 for a single match over an explicit window span instead of
+  /// the match's own processed-window list. The windows must be (a
+  /// contiguous run of) processed windows of this match in list order —
+  /// the streaming monitor feeds the settled/hot spans produced by
+  /// AdvanceProcessedWindows, whose concatenation is exactly the batch
+  /// list, so instances come out byte-identical to EnumerateMatch across
+  /// the whole sequence of calls. Returns false on visitor stop.
+  bool EnumerateMatchWindows(const MatchBinding& binding,
+                             const Window* windows_begin,
+                             const Window* windows_end,
+                             const InstanceVisitor& visitor,
+                             EnumerationResult* result) const;
+
   /// Convenience: runs and materializes every instance.
   std::vector<MotifInstance> CollectAll() const;
 

@@ -64,7 +64,7 @@ class SeriesPairIndexer {
 
 void FlowPrefixArena::EnsureLayout(const TimeSeriesGraph& graph) {
   if (topology_identity_ == graph.topology_identity()) return;
-  FLOWMOTIF_CHECK(topology_identity_ == nullptr)
+  FLOWMOTIF_CHECK(topology_identity_.storage == nullptr)
       << "FlowPrefixArena refilled from a different topology";
   const size_t total = BuildPrefixOffsets(graph, &offsets_);
   prefix_.resize(total);
@@ -343,7 +343,7 @@ void EnumerationSkeleton::Clear() {
   state_begin_.assign(2, 0);
   roots_.clear();
   match_viable_.clear();
-  topology_identity_ = nullptr;
+  topology_identity_ = StorageIdentity{};
   recorded_ = false;
 }
 
@@ -461,8 +461,8 @@ void EnumerationSkeleton::RecordSweepDescending(
   // interior-node motifs present the same (first, last) identity pair
   // in runs, and the lists depend only on those identities.
   std::vector<std::vector<Window>> windows;
-  const void* mru_first = nullptr;
-  const void* mru_last = nullptr;
+  StorageIdentity mru_first;
+  StorageIdentity mru_last;
 
   // Only the boundary series gate a match (the window lists depend on
   // nothing else), so interior series resolve lazily — most structural

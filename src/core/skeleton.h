@@ -70,7 +70,7 @@ class FlowPrefixArena {
 
   const double* data() const { return prefix_.data(); }
   size_t size() const { return prefix_.size(); }
-  const void* topology_identity() const { return topology_identity_; }
+  StorageIdentity topology_identity() const { return topology_identity_; }
 
   /// Offset of pair p's prefix block; the block has series-size + 1
   /// entries. Exposed for tests.
@@ -83,7 +83,7 @@ class FlowPrefixArena {
 
   std::vector<double> prefix_;
   std::vector<size_t> offsets_;  // per pair, block start; back() = total
-  const void* topology_identity_ = nullptr;
+  StorageIdentity topology_identity_;
 };
 
 /// Draws the significance ensemble's flow permutations directly as
@@ -186,7 +186,7 @@ class EnumerationSkeleton {
 
   /// Identity of the topology the recording is valid for; a replay
   /// arena must report the same identity.
-  const void* topology_identity() const { return topology_identity_; }
+  StorageIdentity topology_identity() const { return topology_identity_; }
 
   const uint32_t* edge_lo() const { return edge_lo_.data(); }
   const uint32_t* edge_hi() const { return edge_hi_.data(); }
@@ -216,7 +216,7 @@ class EnumerationSkeleton {
   std::vector<uint32_t> state_begin_{0, 0};  // state 0 = unit, no edges
   std::vector<uint32_t> roots_;
   std::vector<uint8_t> match_viable_;
-  const void* topology_identity_ = nullptr;
+  StorageIdentity topology_identity_;
   bool recorded_ = false;
 };
 

@@ -144,6 +144,70 @@ void ComputeProcessedWindowsMulti(const EdgeSeries& first,
   }
 }
 
+void AdvanceProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
+                             Timestamp delta, Timestamp settle_before,
+                             WindowScanState* state,
+                             std::vector<Window>* settled,
+                             std::vector<Window>* hot) {
+  hot->clear();
+  const size_t num_anchors = first.size();
+  const size_t num_last = last.size();
+
+  // Settled phase: the batch loop of ComputeProcessedWindows, mutating
+  // the persistent state, stopping at the first anchor whose window end
+  // reaches settle_before (ends are non-decreasing in anchor order, so
+  // the anchors split into a clean settled prefix / hot suffix). Two
+  // deviations from the batch loop, both final for settled anchors:
+  // running the R(em) cursor off the series is a per-anchor skip rather
+  // than a scan-wide break (later hot anchors may gain elements in a
+  // future epoch; this anchor cannot — everything with time <= its end
+  // is already here), and duplicate-anchor skips advance anchor_idx
+  // permanently.
+  size_t i = state->anchor_idx;
+  for (; i < num_anchors; ++i) {
+    const Timestamp anchor = first.time(i);
+    const Timestamp end = WindowEndSaturating(anchor, delta);
+    if (end >= settle_before) break;
+    if (state->have_processed && anchor == state->prev_anchor) continue;
+    size_t c = state->em_cursor;
+    if (state->have_processed) {
+      while (c < num_last && last.time(c) <= state->prev_end) ++c;
+    } else {
+      while (c < num_last && last.time(c) < anchor) ++c;
+    }
+    state->em_cursor = c;
+    if (c >= num_last || last.time(c) > end) continue;
+    settled->push_back(Window{anchor, end});
+    state->prev_end = end;
+    state->prev_anchor = anchor;
+    state->have_processed = true;
+  }
+  state->anchor_idx = i;
+
+  // Hot phase: replay the rest of the scan on a throwaway copy. Here
+  // the batch early-break is restored verbatim — it only prunes work
+  // the next call redoes anyway.
+  WindowScanState s = *state;
+  for (; i < num_anchors; ++i) {
+    const Timestamp anchor = first.time(i);
+    if (s.have_processed && anchor == s.prev_anchor) continue;
+    const Timestamp end = WindowEndSaturating(anchor, delta);
+    size_t c = s.em_cursor;
+    if (s.have_processed) {
+      while (c < num_last && last.time(c) <= s.prev_end) ++c;
+    } else {
+      while (c < num_last && last.time(c) < anchor) ++c;
+    }
+    s.em_cursor = c;
+    if (c >= num_last) break;
+    if (last.time(c) > end) continue;
+    hot->push_back(Window{anchor, end});
+    s.prev_end = end;
+    s.prev_anchor = anchor;
+    s.have_processed = true;
+  }
+}
+
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
                                       Timestamp delta) {
   std::vector<Window> windows;

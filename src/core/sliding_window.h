@@ -58,6 +58,49 @@ void ComputeProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
 std::vector<Window> ComputeAllWindows(const EdgeSeries& first,
                                       Timestamp delta);
 
+/// Persistent position of one match's window scan across the epochs of
+/// an appending stream (graph/epoch_log.h): the anchor index into
+/// R(e1), the monotone R(em) novelty cursor, and the last processed
+/// window — exactly the loop state of ComputeProcessedWindows frozen at
+/// the settled/hot boundary. Element indices stay valid across seals
+/// because appends are time-monotone: every new element sorts at or
+/// after the stream watermark, and the state only ever refers to
+/// elements strictly before it.
+struct WindowScanState {
+  size_t anchor_idx = 0;
+  size_t em_cursor = 0;
+  bool have_processed = false;
+  Timestamp prev_end = 0;
+  Timestamp prev_anchor = 0;
+};
+
+/// Incremental ComputeProcessedWindows: resumes one match's window scan
+/// from `state` against the current (extended) series pair and splits
+/// the remaining windows at `settle_before` — the stream watermark.
+///
+/// * Windows with end < settle_before are **settled**: every element
+///   that could fall inside them is already present (future appends
+///   carry time >= settle_before), so the window — and the novelty-rule
+///   decision that produced or skipped it — is final. They are appended
+///   to `settled` and the scan state advances past them permanently.
+/// * Windows with end >= settle_before are **hot**: a future epoch can
+///   still add elements inside them, possibly changing their contents
+///   or the novelty decisions downstream of them. They are written to
+///   `hot` (cleared first) by replaying the scan on a throwaway copy of
+///   the state; the next call recomputes them from the settled
+///   boundary.
+///
+/// Invariant (the byte-identity contract of the streaming subsystem):
+/// after any number of calls with non-decreasing settle_before values,
+/// the concatenation of all `settled` output plus the current `hot`
+/// list equals ComputeProcessedWindows(first, last, delta) on the
+/// current series pair, element for element.
+void AdvanceProcessedWindows(const EdgeSeries& first, const EdgeSeries& last,
+                             Timestamp delta, Timestamp settle_before,
+                             WindowScanState* state,
+                             std::vector<Window>* settled,
+                             std::vector<Window>* hot);
+
 /// ComputeProcessedWindows for several deltas in one anchor scan:
 /// (*out)[d] receives exactly the list ComputeProcessedWindows(first,
 /// last, deltas[d]) would return (each delta keeps its own novelty

@@ -164,11 +164,21 @@ SharedWindowCache::~SharedWindowCache() {
   }
 }
 
-size_t SharedWindowCache::BucketOf(const void* first_id,
-                                   const void* last_id) const {
-  const size_t h = std::hash<const void*>()(first_id);
-  const size_t mixed = h ^ (std::hash<const void*>()(last_id) + 0x9e3779b9u +
-                            (h << 6) + (h >> 2));
+namespace {
+
+size_t HashIdentity(const StorageIdentity& id) {
+  const size_t h = std::hash<const void*>()(id.storage);
+  return h ^ (std::hash<size_t>()(id.epoch) + 0x9e3779b9u + (h << 6) +
+              (h >> 2));
+}
+
+}  // namespace
+
+size_t SharedWindowCache::BucketOf(const StorageIdentity& first_id,
+                                   const StorageIdentity& last_id) const {
+  const size_t h = HashIdentity(first_id);
+  const size_t mixed =
+      h ^ (HashIdentity(last_id) + 0x9e3779b9u + (h << 6) + (h >> 2));
   return mixed & (buckets_.size() - 1);
 }
 
@@ -176,8 +186,8 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
                                                   const EdgeSeries& last) {
   // The key is the timestamp-storage identity, not the series address:
   // a flow-permuted view hits the entry its source series published.
-  const void* const first_id = first.timestamp_identity();
-  const void* const last_id = last.timestamp_identity();
+  const StorageIdentity first_id = first.timestamp_identity();
+  const StorageIdentity last_id = last.timestamp_identity();
   std::atomic<Node*>& bucket = buckets_[BucketOf(first_id, last_id)];
   Node* const head = bucket.load(std::memory_order_acquire);
   for (Node* node = head; node != nullptr; node = node->next) {

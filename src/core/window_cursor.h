@@ -163,8 +163,8 @@ class WindowListMru {
                                           Timestamp delta);
 
  private:
-  const void* first_id_ = nullptr;
-  const void* last_id_ = nullptr;
+  StorageIdentity first_id_;
+  StorageIdentity last_id_;
   std::vector<Window> windows_;
 };
 
@@ -194,7 +194,11 @@ class WindowListMru {
 /// timestamp storage it indexes, and must never be shared across graphs
 /// built independently (their identities are distinct, so entries would
 /// just never hit) — create one cache per (graph family, delta) query,
-/// as QueryEngine and SignificanceAnalyzer do.
+/// as QueryEngine and SignificanceAnalyzer do. Identities carry an
+/// epoch stamp (graph/types.h), so under an appending EpochLog a cache
+/// held across seals keeps hitting for series untouched by the seal,
+/// misses (never aliases) for resealed dirty series, and stays immune
+/// to freed-storage address reuse.
 class SharedWindowCache {
  public:
   static constexpr size_t kDefaultMaxEntries = 1024;
@@ -228,13 +232,14 @@ class SharedWindowCache {
 
  private:
   struct Node {
-    const void* first_id;
-    const void* last_id;
+    StorageIdentity first_id;
+    StorageIdentity last_id;
     std::vector<Window> windows;
     Node* next;
   };
 
-  size_t BucketOf(const void* first_id, const void* last_id) const;
+  size_t BucketOf(const StorageIdentity& first_id,
+                  const StorageIdentity& last_id) const;
 
   const Timestamp delta_;
   const size_t max_entries_;

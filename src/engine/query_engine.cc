@@ -179,11 +179,12 @@ bool QueryEngine::CanStream(const QueryOptions& options) {
     case QueryMode::kCount:
     case QueryMode::kTopK:
     case QueryMode::kTop1:
-      return true;
     case QueryMode::kEnumerate:
-      // Collecting instances requires the per-batch truncation trick of
-      // RunEnumerate, which wants the whole batch layout up front.
-      return options.collect_limit == 0;
+      // kEnumerate with a collect limit uses RunEnumerate's per-batch
+      // truncation trick on the streamed batches too: batches arrive
+      // keyed by their first serial match index, so the merge restores
+      // serial order before truncating.
+      return true;
     case QueryMode::kSignificance:
       return false;
   }
@@ -598,22 +599,53 @@ void QueryEngine::RunStreamed(const Motif& motif,
                               QueryResult* result) const {
   switch (options.mode) {
     case QueryMode::kEnumerate: {
-      FLOWMOTIF_CHECK_EQ(options.collect_limit, 0);
       SharedWindowCache window_cache(options.delta);
       EnumerationOptions eopts = ToEnumerationOptions(options);
       eopts.shared_window_cache = &window_cache;
       const FlowMotifEnumerator enumerator(graph_, motif, eopts);
+      const int64_t limit = options.collect_limit;
       std::mutex mu;
-      // Counter-only enumeration: integer counters are sums, so merging
-      // in completion order equals the serial merge.
+      // Per-batch collection, keyed by the batch's first serial match
+      // index. Batches complete (and fold) in arbitrary order; the
+      // counters are sums, and the collected runs are sorted back into
+      // serial order below before the global truncation — each batch
+      // keeps at most `limit` instances, which necessarily include every
+      // one of the global first `limit` that falls in the batch.
+      std::vector<std::pair<int64_t, std::vector<MotifInstance>>> collected;
       const StreamStats stream = StreamTwoPhase(
           motif, options, pool,
-          [&](int64_t, const MatchBinding* begin, const MatchBinding* end) {
+          [&](int64_t first, const MatchBinding* begin,
+              const MatchBinding* end) {
+            std::vector<MotifInstance> local_collected;
+            InstanceVisitor visitor;  // stays null when limit == 0
+            if (limit != 0) {
+              visitor = [&local_collected, limit](const InstanceView& view) {
+                if (limit < 0 ||
+                    static_cast<int64_t>(local_collected.size()) < limit) {
+                  local_collected.push_back(view.Materialize());
+                }
+                return true;
+              };
+            }
             const EnumerationResult local =
-                EnumerateRun(enumerator, begin, end, nullptr);
+                EnumerateRun(enumerator, begin, end, visitor);
             std::lock_guard<std::mutex> lock(mu);
             result->stats.MergeFrom(local);
+            if (!local_collected.empty()) {
+              collected.emplace_back(first, std::move(local_collected));
+            }
           });
+      std::sort(collected.begin(), collected.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [first, run] : collected) {
+        for (MotifInstance& instance : run) {
+          if (limit >= 0 &&
+              static_cast<int64_t>(result->instances.size()) >= limit) {
+            break;
+          }
+          result->instances.push_back(std::move(instance));
+        }
+      }
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->num_batches = stream.num_batches;
       return;
@@ -700,6 +732,25 @@ void QueryEngine::RunStreamed(const Motif& motif,
       FLOWMOTIF_CHECK(false) << "kSignificance does not stream";
       return;
   }
+}
+
+std::unique_ptr<StreamingMotifMonitor> QueryEngine::OpenStream(
+    const Motif& motif, const StreamOptions& options) const {
+  // Flatten the immutable graph back into its multigraph form and seed
+  // a fresh log with it: TimeSeriesGraph::Build on this multigraph
+  // reproduces every series byte for byte (series are sorted by the
+  // deterministic (t, f) order), so the monitor's epoch 0 matches the
+  // engine's graph exactly.
+  InteractionGraph seed;
+  seed.EnsureVertices(graph_.num_vertices());
+  for (const TimeSeriesGraph::PairEdge& pair : graph_.pairs()) {
+    for (size_t i = 0; i < pair.series.size(); ++i) {
+      const Interaction x = pair.series.at(i);
+      const Status status = seed.AddEdge(pair.src, pair.dst, x.t, x.f);
+      FLOWMOTIF_CHECK(status.ok()) << status;
+    }
+  }
+  return std::make_unique<StreamingMotifMonitor>(motif, options, seed);
 }
 
 void QueryEngine::RunSignificance(const Motif& motif,

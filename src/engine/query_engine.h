@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/dp.h"
@@ -14,6 +15,7 @@
 #include "core/topk.h"
 #include "engine/query_options.h"
 #include "graph/time_series_graph.h"
+#include "stream/streaming_monitor.h"
 #include "util/thread_pool.h"
 
 namespace flowmotif {
@@ -133,6 +135,16 @@ class QueryEngine {
   /// batch_size); its mode/delta/phi fields are ignored.
   SweepResult RunSweep(const Motif& motif, const SweepQuery& sweep,
                        const QueryOptions& options) const;
+
+  /// Opens a continuous query seeded with this engine's graph: a
+  /// StreamingMotifMonitor (stream/streaming_monitor.h) whose epoch 0
+  /// answers exactly as this engine would, and which stays batch-
+  /// equivalent at every later SealEpoch. The monitor owns an
+  /// independent EpochLog built from a copy of the graph's interactions;
+  /// it does not alias the engine's graph, so the engine and the stream
+  /// may be used (and dropped) independently.
+  std::unique_ptr<StreamingMotifMonitor> OpenStream(
+      const Motif& motif, const StreamOptions& options) const;
 
   const TimeSeriesGraph& graph() const { return graph_; }
 

@@ -26,7 +26,8 @@ EdgeSeries::EdgeSeries() : times_(EmptyTimes()) {
   RebuildPrefix();
 }
 
-EdgeSeries::EdgeSeries(std::vector<Interaction> interactions) {
+EdgeSeries::EdgeSeries(std::vector<Interaction> interactions, EpochId epoch)
+    : storage_epoch_(epoch) {
   std::sort(interactions.begin(), interactions.end());
   std::vector<Timestamp> times;
   times.reserve(interactions.size());
@@ -46,6 +47,7 @@ EdgeSeries EdgeSeries::WithFlows(std::vector<Flow> new_flows) const {
   for (Flow f : new_flows) FLOWMOTIF_CHECK_GT(f, 0.0);
   EdgeSeries view;
   view.times_ = times_;  // shared storage, same identity
+  view.storage_epoch_ = storage_epoch_;
   view.SyncTimesView();
   view.flows_ = std::move(new_flows);
   view.RebuildPrefix();
@@ -57,6 +59,19 @@ EdgeSeries EdgeSeries::DeepCopy() const {
   copy.times_ = std::make_shared<const std::vector<Timestamp>>(*times_);
   copy.SyncTimesView();
   return copy;
+}
+
+EdgeSeries EdgeSeries::WithAppended(std::vector<Interaction> tail,
+                                    EpochId epoch) const {
+  // Concatenate and hand to the sorting constructor: byte identity with
+  // a from-scratch build of the union holds by construction. The input
+  // is two sorted runs, which std::sort handles near-linearly, so the
+  // seal cost of a dirty series stays close to one merge pass.
+  std::vector<Interaction> all;
+  all.reserve(size() + tail.size());
+  for (size_t i = 0; i < num_elements_; ++i) all.push_back(at(i));
+  all.insert(all.end(), tail.begin(), tail.end());
+  return EdgeSeries(std::move(all), epoch);
 }
 
 void EdgeSeries::RebuildPrefix() {

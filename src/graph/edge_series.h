@@ -31,8 +31,11 @@ class EdgeSeries {
   EdgeSeries();
 
   /// Builds from interactions; sorts them by (time, flow). The series
-  /// owns a fresh timestamp array (a new identity).
-  explicit EdgeSeries(std::vector<Interaction> interactions);
+  /// owns a fresh timestamp array (a new identity). `epoch` stamps the
+  /// identity with the creation epoch of the storage (0 for static
+  /// graphs).
+  explicit EdgeSeries(std::vector<Interaction> interactions,
+                      EpochId epoch = 0);
 
   /// A view over this series' timestamp storage (shared by identity, not
   /// copied) carrying `new_flows` in element order. The significance
@@ -46,12 +49,24 @@ class EdgeSeries {
   /// used by TimeSeriesGraph::DeepCopy.
   EdgeSeries DeepCopy() const;
 
+  /// A new series over fresh storage holding this series' interactions
+  /// plus `tail`, sorted — byte-identical to rebuilding the series from
+  /// the union of interactions, so an epoch-sealed streamed graph is
+  /// indistinguishable from a statically built one. The result's
+  /// identity carries `epoch`; this series (and any cache entries keyed
+  /// on its identity) is untouched.
+  EdgeSeries WithAppended(std::vector<Interaction> tail, EpochId epoch) const;
+
   /// Stable identity of the (immutable, shared) timestamp storage: equal
   /// for this series and every WithFlows view derived from it, distinct
   /// for series built from interactions. SharedWindowCache keys on this,
   /// which is what lets one window cache serve a whole flow-permutation
-  /// ensemble.
-  const void* timestamp_identity() const { return times_.get(); }
+  /// ensemble. The epoch stamp keeps the identity unambiguous across an
+  /// appending stream even if freed storage addresses are reused (see
+  /// StorageIdentity in graph/types.h).
+  StorageIdentity timestamp_identity() const {
+    return StorageIdentity{times_.get(), storage_epoch_};
+  }
 
   size_t size() const { return num_elements_; }
   bool empty() const { return num_elements_ == 0; }
@@ -132,6 +147,8 @@ class EdgeSeries {
 
   // Immutable after construction; shared with WithFlows views.
   std::shared_ptr<const std::vector<Timestamp>> times_;
+  // Epoch at which times_ was created; part of timestamp_identity().
+  EpochId storage_epoch_ = 0;
   // Cached raw view of *times_ so the hot paths (time(), the galloping
   // cursors, the binary searches) pay no shared_ptr double indirection —
   // the storage split must not tax the recursion-bound workloads that

@@ -1,0 +1,89 @@
+#include "graph/epoch_log.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace flowmotif {
+
+EpochLog::EpochLog()
+    : watermark_(std::numeric_limits<Timestamp>::min()),
+      snapshot_(std::make_shared<const TimeSeriesGraph>()) {}
+
+EpochLog::EpochLog(const InteractionGraph& seed)
+    : watermark_(std::numeric_limits<Timestamp>::min()) {
+  num_vertices_ = seed.num_vertices();
+  auto graph = std::make_shared<const TimeSeriesGraph>(
+      TimeSeriesGraph::Build(seed));
+  TimeSeriesGraph::Stats stats = graph->ComputeStats();
+  if (stats.num_interactions > 0) {
+    watermark_ = stats.max_time;
+    empty_ = false;
+  }
+  snapshot_ = std::move(graph);
+}
+
+void EpochLog::Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
+  FLOWMOTIF_CHECK_GE(src, 0);
+  FLOWMOTIF_CHECK_GE(dst, 0);
+  FLOWMOTIF_CHECK_GT(f, 0.0) << "flows must be positive";
+  if (!empty_) {
+    FLOWMOTIF_CHECK_GE(t, watermark_)
+        << "stream timestamps must be non-decreasing";
+  }
+  watermark_ = std::max(watermark_, t);
+  empty_ = false;
+  num_vertices_ =
+      std::max(num_vertices_, static_cast<int64_t>(std::max(src, dst)) + 1);
+  tail_.push_back(InteractionGraph::Edge{src, dst, t, f});
+}
+
+EpochLog::SealInfo EpochLog::SealEpoch() {
+  SealInfo info;
+  info.watermark = watermark_;
+  if (tail_.empty()) {
+    info.epoch = epoch_;
+    info.graph = Snapshot();
+    return info;
+  }
+
+  std::shared_ptr<const TimeSeriesGraph> base = Snapshot();
+  info.num_appended = tail_.size();
+  info.min_new_time = tail_.front().t;  // monotone stream: front is min
+
+  info.dirty_pairs.reserve(tail_.size());
+  for (const InteractionGraph::Edge& e : tail_) {
+    info.dirty_pairs.emplace_back(e.src, e.dst);
+  }
+  std::sort(info.dirty_pairs.begin(), info.dirty_pairs.end());
+  info.dirty_pairs.erase(
+      std::unique(info.dirty_pairs.begin(), info.dirty_pairs.end()),
+      info.dirty_pairs.end());
+  for (const auto& pair : info.dirty_pairs) {
+    if (base->FindPairIndex(pair.first, pair.second) < 0) {
+      info.new_pairs.push_back(pair);
+    }
+  }
+  info.topology_changed =
+      !info.new_pairs.empty() || num_vertices_ != base->num_vertices();
+
+  info.epoch = ++epoch_;
+  auto next = std::make_shared<const TimeSeriesGraph>(
+      TimeSeriesGraph::ExtendWith(*base, std::move(tail_), num_vertices_,
+                                  info.epoch));
+  tail_.clear();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = next;
+  }
+  info.graph = std::move(next);
+  return info;
+}
+
+std::shared_ptr<const TimeSeriesGraph> EpochLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+}  // namespace flowmotif

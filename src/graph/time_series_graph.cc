@@ -44,11 +44,18 @@ TimeSeriesGraph TimeSeriesGraph::Build(const InteractionGraph& multigraph) {
     i = j;
   }
 
+  graph.index_ =
+      std::make_shared<const Index>(BuildIndex(graph.pairs_, n));
+  return graph;
+}
+
+TimeSeriesGraph::Index TimeSeriesGraph::BuildIndex(
+    const std::vector<PairEdge>& pairs, int64_t n) {
   Index index;
 
   // CSR offsets over the sorted pair list.
   index.out_begin.assign(static_cast<size_t>(n) + 1, 0);
-  for (const PairEdge& pe : graph.pairs_) {
+  for (const PairEdge& pe : pairs) {
     ++index.out_begin[static_cast<size_t>(pe.src) + 1];
   }
   for (size_t v = 1; v < index.out_begin.size(); ++v) {
@@ -59,21 +66,93 @@ TimeSeriesGraph TimeSeriesGraph::Build(const InteractionGraph& multigraph) {
   // the (dst, src) order follows from the stable pass over pairs sorted
   // by (src, dst)).
   index.in_begin.assign(static_cast<size_t>(n) + 1, 0);
-  for (const PairEdge& pe : graph.pairs_) {
+  for (const PairEdge& pe : pairs) {
     ++index.in_begin[static_cast<size_t>(pe.dst) + 1];
   }
   for (size_t v = 1; v < index.in_begin.size(); ++v) {
     index.in_begin[v] += index.in_begin[v - 1];
   }
-  index.in_index.assign(graph.pairs_.size(), 0);
+  index.in_index.assign(pairs.size(), 0);
   std::vector<size_t> cursor(index.in_begin.begin(),
                              index.in_begin.end() - 1);
-  for (size_t p = 0; p < graph.pairs_.size(); ++p) {
-    index.in_index[cursor[static_cast<size_t>(graph.pairs_[p].dst)]++] = p;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    index.in_index[cursor[static_cast<size_t>(pairs[p].dst)]++] = p;
+  }
+  return index;
+}
+
+TimeSeriesGraph TimeSeriesGraph::ExtendWith(
+    const TimeSeriesGraph& base,
+    std::vector<InteractionGraph::Edge> new_edges, int64_t num_vertices,
+    EpochId epoch) {
+  FLOWMOTIF_CHECK_GE(num_vertices, base.num_vertices());
+  std::sort(new_edges.begin(), new_edges.end(),
+            [](const InteractionGraph::Edge& a,
+               const InteractionGraph::Edge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.t != b.t) return a.t < b.t;
+              return a.f < b.f;
+            });
+
+  // Merge base.pairs_ with the (src, dst)-grouped new edges, keeping the
+  // sorted pair order Build produces. Untouched pairs are copied as-is —
+  // their series share the base's timestamp storage and keep its
+  // identity — while dirty and brand-new pairs get fresh storage stamped
+  // with the sealing epoch.
+  TimeSeriesGraph out;
+  out.pairs_.reserve(base.pairs_.size());
+  bool topology_changed = num_vertices != base.num_vertices();
+  size_t bi = 0;
+  size_t ni = 0;
+  while (bi < base.pairs_.size() || ni < new_edges.size()) {
+    bool take_new = bi >= base.pairs_.size();
+    if (!take_new && ni < new_edges.size()) {
+      const PairEdge& bp = base.pairs_[bi];
+      const InteractionGraph::Edge& ne = new_edges[ni];
+      take_new =
+          ne.src < bp.src || (ne.src == bp.src && ne.dst < bp.dst);
+    }
+    if (take_new) {
+      // A pair with no series in the base graph.
+      const VertexId src = new_edges[ni].src;
+      const VertexId dst = new_edges[ni].dst;
+      std::vector<Interaction> series;
+      while (ni < new_edges.size() && new_edges[ni].src == src &&
+             new_edges[ni].dst == dst) {
+        series.push_back(Interaction{new_edges[ni].t, new_edges[ni].f});
+        ++ni;
+      }
+      out.pairs_.push_back(
+          PairEdge{src, dst, EdgeSeries(std::move(series), epoch)});
+      topology_changed = true;
+      continue;
+    }
+    const PairEdge& bp = base.pairs_[bi];
+    std::vector<Interaction> tail;
+    while (ni < new_edges.size() && new_edges[ni].src == bp.src &&
+           new_edges[ni].dst == bp.dst) {
+      tail.push_back(Interaction{new_edges[ni].t, new_edges[ni].f});
+      ++ni;
+    }
+    if (tail.empty()) {
+      out.pairs_.push_back(bp);  // shared storage, same identity
+    } else {
+      out.pairs_.push_back(PairEdge{
+          bp.src, bp.dst, bp.series.WithAppended(std::move(tail), epoch)});
+    }
+    ++bi;
   }
 
-  graph.index_ = std::make_shared<const Index>(std::move(index));
-  return graph;
+  if (topology_changed) {
+    out.index_ = std::make_shared<const Index>(
+        BuildIndex(out.pairs_, num_vertices));
+    out.topology_epoch_ = epoch;
+  } else {
+    out.index_ = base.index_;  // shared topology, same identity
+    out.topology_epoch_ = base.topology_epoch_;
+  }
+  return out;
 }
 
 const EdgeSeries* TimeSeriesGraph::FindSeries(VertexId u, VertexId v) const {
@@ -139,6 +218,7 @@ TimeSeriesGraph TimeSeriesGraph::WithPermutedFlows(Rng* rng) const {
 
   TimeSeriesGraph out;
   out.index_ = index_;  // shared topology, same identity
+  out.topology_epoch_ = topology_epoch_;
   out.pairs_.reserve(pairs_.size());
   size_t cursor = 0;
   for (const PairEdge& pe : pairs_) {
@@ -156,6 +236,7 @@ TimeSeriesGraph TimeSeriesGraph::WithPermutedFlows(Rng* rng) const {
 TimeSeriesGraph TimeSeriesGraph::DeepCopy() const {
   TimeSeriesGraph out;
   out.index_ = std::make_shared<const Index>(*index_);
+  out.topology_epoch_ = topology_epoch_;
   out.pairs_.reserve(pairs_.size());
   for (const PairEdge& pe : pairs_) {
     out.pairs_.push_back(PairEdge{pe.src, pe.dst, pe.series.DeepCopy()});

@@ -58,6 +58,22 @@ class TimeSeriesGraph {
   /// series by time, and assembles the CSR index.
   static TimeSeriesGraph Build(const InteractionGraph& multigraph);
 
+  /// Extends `base` with `new_edges`, producing the graph that Build
+  /// would return on the union multigraph with `num_vertices` vertices —
+  /// byte-identical series and CSR layout — while sharing as much of
+  /// `base`'s immutable storage as possible. Series of pairs untouched
+  /// by `new_edges` keep their timestamp storage and identity (so
+  /// window-cache entries and skeleton traces recorded against them
+  /// stay valid); dirty pairs get fresh storage stamped with `epoch`.
+  /// The CSR index is shared by identity unless `new_edges` introduces
+  /// a new (src, dst) pair or `num_vertices` grows, in which case it is
+  /// rebuilt under `epoch`. This is the seal step of graph/epoch_log.h.
+  /// Requires num_vertices >= base.num_vertices().
+  static TimeSeriesGraph ExtendWith(
+      const TimeSeriesGraph& base,
+      std::vector<InteractionGraph::Edge> new_edges, int64_t num_vertices,
+      EpochId epoch);
+
   int64_t num_vertices() const {
     return static_cast<int64_t>(
         index_->out_begin.empty() ? 0 : index_->out_begin.size() - 1);
@@ -115,9 +131,13 @@ class TimeSeriesGraph {
   TimeSeriesGraph DeepCopy() const;
 
   /// Stable identity of the shared CSR topology storage: equal for this
-  /// graph and every WithPermutedFlows view of it, distinct for
-  /// separately built (or deep-copied) graphs. Exposed for tests.
-  const void* topology_identity() const { return index_.get(); }
+  /// graph and every WithPermutedFlows view of it — and for every
+  /// ExtendWith epoch that adds no new pair or vertex — distinct for
+  /// separately built (or deep-copied) graphs and for epochs that
+  /// changed the topology. Exposed for tests and skeleton replay.
+  StorageIdentity topology_identity() const {
+    return StorageIdentity{index_.get(), topology_epoch_};
+  }
 
   /// Human-readable one-line summary for logs.
   std::string DebugString() const;
@@ -131,8 +151,14 @@ class TimeSeriesGraph {
     std::vector<size_t> in_begin;   // size num_vertices()+1
   };
 
+  /// Assembles the CSR forward/reverse offset tables over `pairs`
+  /// (sorted by (src, dst)) for an `n`-vertex graph.
+  static Index BuildIndex(const std::vector<PairEdge>& pairs, int64_t n);
+
   std::vector<PairEdge> pairs_;  // sorted by (src, dst)
   std::shared_ptr<const Index> index_;  // never null
+  // Epoch at which index_ was created; part of topology_identity().
+  EpochId topology_epoch_ = 0;
 };
 
 }  // namespace flowmotif

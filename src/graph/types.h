@@ -18,6 +18,40 @@ using Timestamp = int64_t;
 /// Always positive.
 using Flow = double;
 
+/// Epoch counter of an append-friendly graph (graph/epoch_log.h): epoch 0
+/// is the seed snapshot, each SealEpoch publishes the next.
+using EpochId = uint32_t;
+
+/// Identity of one piece of immutable shared storage (a timestamp array,
+/// a CSR index): the storage address *stamped with the epoch at which the
+/// storage was created*. Equal identities guarantee identical contents —
+/// a series and its flow-permutation views share one identity, and every
+/// timestamp-derived artifact (window lists, skeleton traces) may be
+/// cached under it.
+///
+/// The epoch stamp is what makes the identity safe across an appending
+/// stream: when an epoch seal rewrites a dirty series, its old storage
+/// may be freed and the allocator may later reuse the address. A bare
+/// pointer key could then alias a stale cache entry onto unrelated new
+/// storage (ABA); the (storage, epoch) pair cannot, because the reused
+/// address carries a strictly newer creation epoch. Static graphs all
+/// carry epoch 0, where the pair degenerates to the PR 5 pointer key.
+struct StorageIdentity {
+  const void* storage = nullptr;
+  EpochId epoch = 0;
+
+  friend bool operator==(const StorageIdentity& a, const StorageIdentity& b) {
+    return a.storage == b.storage && a.epoch == b.epoch;
+  }
+  friend bool operator!=(const StorageIdentity& a, const StorageIdentity& b) {
+    return !(a == b);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const StorageIdentity& id) {
+  return os << "{" << id.storage << "@e" << id.epoch << "}";
+}
+
 /// One timestamped flow transfer on an edge: the (t, f) element of the
 /// paper (Sec. 3).
 struct Interaction {

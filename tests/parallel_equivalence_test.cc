@@ -117,6 +117,38 @@ TEST(ParallelEquivalenceTest, EnumerateIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelEquivalenceTest, StreamedEnumerateWithCollectLimitStaysIdentical) {
+  // threads > 1 with a collect limit routes through the streamed P1→P2
+  // pipeline (shards released out of order): the collected prefix must
+  // still be the serial discovery-order prefix, exactly.
+  for (const Workload& w : Workloads()) {
+    QueryEngine engine(w.graph);
+    QueryOptions options;
+    options.mode = QueryMode::kEnumerate;
+    options.delta = w.delta;
+    options.phi = w.phi;
+    for (const int64_t limit : {int64_t{7}, int64_t{-1}}) {
+      options.collect_limit = limit;
+      options.num_threads = 1;
+      options.batch_size = 0;
+      const QueryResult serial = engine.Run(w.motif, options);
+      for (int threads : {2, 8}) {
+        options.num_threads = threads;
+        // Tiny batches on the larger thread count stress the
+        // out-of-order merge far harder than the derived size.
+        options.batch_size = threads == 8 ? 1 : 0;
+        const QueryResult streamed = engine.Run(w.motif, options);
+        ASSERT_EQ(streamed.instances, serial.instances)
+            << w.motif.name() << " threads=" << threads
+            << " limit=" << limit;
+        ASSERT_EQ(streamed.stats.num_instances, serial.stats.num_instances);
+        ASSERT_EQ(streamed.stats.num_structural_matches,
+                  serial.stats.num_structural_matches);
+      }
+    }
+  }
+}
+
 TEST(ParallelEquivalenceTest, CountIdenticalAcrossThreadCounts) {
   for (const Workload& w : Workloads()) {
     QueryEngine engine(w.graph);

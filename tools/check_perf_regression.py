@@ -18,11 +18,15 @@ Keying rules:
     their suffix, so a `_median` in the baseline only ever compares
     against a `_median` in the current run.
   * Repetition rows of one benchmark share a name; they are merged
-    deterministically by taking the MINIMUM real_time (the
-    least-noise statistic on a contended runner). The old behaviour —
-    dict insertion overwriting, so whichever repetition happened to be
-    serialized last won — made the gate's verdict depend on run
-    ordering.
+    deterministically by taking the MEDIAN real_time. The minimum
+    (the previous rule) is the classic least-noise statistic on a
+    quiet machine, but on a contended CI runner it keeps whichever
+    repetition got the luckiest scheduling slice — one lucky rep can
+    mask a real regression, and the statistic only ever moves DOWN
+    with more repetitions. The median is stable under both tails:
+    one descheduled rep and one lucky rep both land in the discarded
+    halves. Order-independence is preserved (rows are collected, then
+    reduced).
   * Dispersion aggregates (`_stddev`, `_cv`) are not times and are
     skipped; `real_time` is normalized through the row's `time_unit`,
     so a harness switching from ns to ms reporting cannot fake a win
@@ -50,6 +54,7 @@ numbers rather than a same-machine previous run.
 
 import argparse
 import json
+import statistics
 import sys
 
 # Multipliers to nanoseconds for google-benchmark's time_unit values.
@@ -62,12 +67,12 @@ _NON_TIME_AGGREGATES = {"stddev", "cv"}
 def load_benchmarks(path):
     """Returns {full benchmark name: real_time in ns} for one JSON file.
 
-    Repetition rows sharing a name are merged by minimum; aggregate rows
+    Repetition rows sharing a name are merged by median; aggregate rows
     keep their suffixed name as the key.
     """
     with open(path) as f:
         data = json.load(f)
-    merged = {}
+    samples = {}
     for bench in data.get("benchmarks", []):
         if bench.get("threads", 1) != 1:
             continue  # the gate tracks single-thread time
@@ -77,12 +82,9 @@ def load_benchmarks(path):
         unit = bench.get("time_unit", "ns")
         if unit not in _UNIT_TO_NS:
             raise ValueError(f"{path}: unknown time_unit {unit!r} for {name}")
-        time_ns = float(bench["real_time"]) * _UNIT_TO_NS[unit]
-        if name in merged:
-            merged[name] = min(merged[name], time_ns)
-        else:
-            merged[name] = time_ns
-    return merged
+        samples.setdefault(name, []).append(
+            float(bench["real_time"]) * _UNIT_TO_NS[unit])
+    return {name: statistics.median(times) for name, times in samples.items()}
 
 
 def format_ns(ns):
