@@ -4,16 +4,25 @@
 //  * structural matching throughput (phase P1);
 //  * window computation (the sliding/skip logic);
 //  * phase P2 on one structural match.
+//  * cancellation-check overhead in the DP / counter hot loops — the
+//    same loop with a null control vs an active never-tripping
+//    QueryControl, gated < 1% as a same-run pair by
+//    check_perf_regression.py --overhead-pair.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "core/counter.h"
+#include "core/dp.h"
 #include "core/enumerator.h"
 #include "core/motif_catalog.h"
 #include "core/sliding_window.h"
 #include "core/structural_match.h"
+#include "core/window_cursor.h"
 #include "gen/presets.h"
 #include "graph/edge_series.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace flowmotif {
@@ -119,6 +128,78 @@ void BM_Phase2PerMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Phase2PerMatch);
+
+// ---------------------------------------------------------------------
+// Cancellation-check overhead. Each pair runs the identical hot loop
+// twice: once on the zero-overhead null-control path, once under an
+// active QueryControl whose deadline is hours away — every per-match
+// cooperative check executes but never trips. CI gates
+// Control vs NoControl at < 1% with check_perf_regression.py
+// --overhead-pair: both rows come from one JSON of one run on one
+// machine, so the comparison dodges the cross-machine noise the
+// absolute baseline gate has to absorb with its 25% threshold.
+
+const std::vector<MatchBinding>& MicroMatches() {
+  static const std::vector<MatchBinding>* const kMatches = [] {
+    StructuralMatcher matcher(MicroGraph(), *MotifCatalog::ByName("M(3,2)"));
+    return new std::vector<MatchBinding>(matcher.FindAllMatches());
+  }();
+  return *kMatches;
+}
+
+// The kTop1 hot path: MaxFlowDpSearcher::RunOnMatches checks site
+// "dp.match" once per structural match.
+void RunDpMatchLoop(benchmark::State& state, QueryControl* control) {
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  const MaxFlowDpSearcher searcher(MicroGraph(), motif, 900);
+  const std::vector<MatchBinding>& matches = MicroMatches();
+  MaxFlowDpSearcher::Scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.RunOnMatches(
+        matches.data(), matches.data() + matches.size(), &scratch, control));
+  }
+}
+
+void BM_DpMatchLoop_NoControl(benchmark::State& state) {
+  RunDpMatchLoop(state, nullptr);
+}
+BENCHMARK(BM_DpMatchLoop_NoControl);
+
+void BM_DpMatchLoop_Control(benchmark::State& state) {
+  QueryControl control(nullptr, QueryDeadline::AfterSeconds(3600.0),
+                       WorkBudget());
+  RunDpMatchLoop(state, &control);
+}
+BENCHMARK(BM_DpMatchLoop_Control);
+
+// The kCount hot path: the engine's per-batch loop checks site
+// "p2.batch" once per structural match around CountMatch.
+void RunCountMatchLoop(benchmark::State& state, QueryControl* control) {
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  const InstanceCounter counter(MicroGraph(), motif, 900, 2.0);
+  const std::vector<MatchBinding>& matches = MicroMatches();
+  for (auto _ : state) {
+    InstanceCounter::Result result;
+    WindowListMru mru;
+    for (const MatchBinding& m : matches) {
+      if (control != nullptr && control->CheckAt(failpoint::kP2Batch)) break;
+      counter.CountMatch(m, &result, &mru);
+    }
+    benchmark::DoNotOptimize(result.num_instances);
+  }
+}
+
+void BM_CountMatchLoop_NoControl(benchmark::State& state) {
+  RunCountMatchLoop(state, nullptr);
+}
+BENCHMARK(BM_CountMatchLoop_NoControl);
+
+void BM_CountMatchLoop_Control(benchmark::State& state) {
+  QueryControl control(nullptr, QueryDeadline::AfterSeconds(3600.0),
+                       WorkBudget());
+  RunCountMatchLoop(state, &control);
+}
+BENCHMARK(BM_CountMatchLoop_Control);
 
 }  // namespace
 }  // namespace flowmotif

@@ -113,10 +113,22 @@ int main(int argc, char** argv) {
             << "epochs of " << batch << " (delta=" << sopts.delta
             << "s, horizon=" << sopts.horizon << "s, alert flow >= "
             << sopts.alert_min_flow << "):\n";
+  // Ingest is an untrusted boundary: a malformed transfer (as a feed
+  // glitch would produce) is rejected edge-by-edge without poisoning
+  // the stream — demonstrate once, then replay the real trace.
+  const Status rejected = monitor->Append(3, 7, -5, 0.0);
+  std::cout << "Feed glitch rejected: " << rejected << "\n";
+
   size_t cursor = backfill;
   while (cursor < trace.size()) {
     const size_t end = std::min(cursor + batch, trace.size());
-    for (; cursor < end; ++cursor) monitor->Append(trace[cursor]);
+    for (; cursor < end; ++cursor) {
+      const Status appended = monitor->Append(trace[cursor]);
+      if (!appended.ok()) {
+        std::cerr << "dropping transfer " << cursor << ": " << appended
+                  << "\n";
+      }
+    }
     const StreamingMotifMonitor::EpochStats stats = monitor->SealEpoch();
     std::cout << "  epoch " << stats.epoch << ": +" << stats.num_appended
               << " transfers, revisited " << stats.num_matches_revisited

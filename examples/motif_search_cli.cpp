@@ -24,6 +24,7 @@
 #include "core/motif_catalog.h"
 #include "engine/query_engine.h"
 #include "graph/graph_io.h"
+#include "util/cancellation.h"
 #include "util/flags.h"
 
 using namespace flowmotif;
@@ -92,6 +93,12 @@ int main(int argc, char** argv) {
   flags.AddInt64("random-graphs", 20,
                  "randomized graphs for --mode=significance");
   flags.AddInt64("seed", 1, "RNG seed for --mode=significance");
+  flags.AddInt64("deadline_ms", 0,
+                 "wall-clock budget in milliseconds (0 = none); an "
+                 "expired run reports its partial result");
+  flags.AddInt64("max_matches", -1,
+                 "cap on phase-P1 structural matches (-1 = unlimited); "
+                 "the query answers exactly over the first N matches");
 
   Status parse_status = flags.Parse(argc, argv);
   if (!parse_status.ok()) {
@@ -137,9 +144,9 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt64("random-graphs"));
   options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
 
-  // Validate the numeric flags here: the engine enforces the same
-  // bounds with aborting CHECKs, which are for programmer errors, not
-  // for a typo on the command line.
+  // Validate the numeric flags here so a typo gets one clear line
+  // naming the flag; the engine would reject the same values, but with
+  // a generic kError termination instead of a usage message.
   const auto reject = [](const std::string& message) {
     std::cerr << "INVALID_ARGUMENT: " << message << "\n";
     return 1;
@@ -160,6 +167,16 @@ int main(int argc, char** argv) {
   if (options.num_random_graphs < 1) {
     return reject("--random-graphs must be >= 1");
   }
+  const int64_t deadline_ms = flags.GetInt64("deadline_ms");
+  if (deadline_ms < 0) return reject("--deadline_ms must be non-negative");
+  if (deadline_ms > 0) {
+    options.deadline = QueryDeadline::AfterMillis(deadline_ms);
+  }
+  const int64_t max_matches = flags.GetInt64("max_matches");
+  if (max_matches < -1) {
+    return reject("--max_matches must be -1 (unlimited) or non-negative");
+  }
+  options.budget.max_matches = max_matches;
 
   std::cout << "Motif " << motif->name() << " (" << motif->PathString()
             << "), delta=" << options.delta << ", phi=" << options.phi
@@ -167,6 +184,17 @@ int main(int argc, char** argv) {
 
   const QueryEngine engine(graph);
   const QueryResult result = engine.Run(*motif, options);
+
+  if (!result.termination.complete()) {
+    // Deadline/budget truncation: the numbers below cover exactly the
+    // first work_completed structural matches, not the whole graph.
+    std::cout << "PARTIAL RESULT: " << result.termination.ToString();
+    if (result.termination.work_completed >= 0) {
+      std::cout << " after " << result.termination.work_completed
+                << " work units";
+    }
+    std::cout << "\n\n";
+  }
 
   switch (*mode) {
     case QueryMode::kEnumerate: {

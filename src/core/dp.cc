@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -206,15 +208,23 @@ MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
 MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
     const MatchBinding* begin, const MatchBinding* end,
     Scratch* scratch) const {
+  return RunOnMatches(begin, end, scratch, /*control=*/nullptr);
+}
+
+MaxFlowDpSearcher::Result MaxFlowDpSearcher::RunOnMatches(
+    const MatchBinding* begin, const MatchBinding* end, Scratch* scratch,
+    QueryControl* control) const {
   Result result;
   WallTimer timer;
   CheckScratch(scratch);
   for (const MatchBinding* binding = begin; binding != end; ++binding) {
+    if (control != nullptr && control->CheckAt(failpoint::kDpMatch)) break;
     const std::vector<Window>& windows = BeginMatch(*binding, scratch);
     result.num_windows += static_cast<int64_t>(windows.size());
     for (const Window& window : windows) {
       DpOverWindow(*binding, window, scratch, &result);
     }
+    ++result.matches_processed;
   }
   result.seconds = timer.ElapsedSeconds();
   return result;

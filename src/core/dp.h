@@ -13,6 +13,8 @@
 
 namespace flowmotif {
 
+class QueryControl;
+
 /// Dynamic-programming module for top-1 flow motif search (Sec. 5.1,
 /// Algorithm 2). For a structural match and a window T with interaction
 /// timestamps t1..t_tau, it computes
@@ -48,6 +50,11 @@ class MaxFlowDpSearcher {
     Window window{0, 0};      // window that produced it
     int64_t num_windows = 0;  // windows processed
     double seconds = 0.0;     // phase-P2 time
+    /// Matches of the input range fully processed before returning —
+    /// equal to the range length unless a QueryControl stopped the run,
+    /// in which case the incumbent covers exactly the first
+    /// matches_processed matches (a contiguous prefix).
+    int64_t matches_processed = 0;
   };
 
   /// Best instance flow per window position of one match — the paper's
@@ -130,6 +137,13 @@ class MaxFlowDpSearcher {
   /// with searchers on the same graph and delta.
   Result RunOnMatches(const MatchBinding* begin, const MatchBinding* end,
                       Scratch* scratch) const;
+
+  /// Same with a cooperative cancellation point per match (site
+  /// "dp.match" — this outer loop is the kTop1 hot path). A null
+  /// `control` is the zero-overhead path above; on stop the returned
+  /// Result covers the first matches_processed matches exactly.
+  Result RunOnMatches(const MatchBinding* begin, const MatchBinding* end,
+                      Scratch* scratch, QueryControl* control) const;
 
   /// Top-1 within a single structural match.
   Result RunOnMatch(const MatchBinding& binding) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/structural_match.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -16,6 +17,18 @@ namespace {
 /// a larger cap than the per-query default pays for itself; memory stays
 /// bounded at max_entries window lists.
 constexpr size_t kEnsembleCacheEntries = 4096;
+
+/// Longest contiguous completed-task prefix — the only part of a
+/// stopped ensemble the report may use: parallel tasks beyond the first
+/// never-ran task completed out of canonical order.
+int64_t DonePrefix(const std::vector<uint8_t>& done) {
+  int64_t prefix = 0;
+  while (prefix < static_cast<int64_t>(done.size()) &&
+         done[static_cast<size_t>(prefix)] != 0) {
+    ++prefix;
+  }
+  return prefix;
+}
 
 }  // namespace
 
@@ -73,14 +86,17 @@ bool SignificanceAnalyzer::RecordSkeleton(const Motif& motif,
                           sk_options);
 }
 
-void SignificanceAnalyzer::ReplayEnsemble(
+int64_t SignificanceAnalyzer::ReplayEnsemble(
     const EnumerationSkeleton& skeleton,
     const std::vector<std::vector<Flow>>& permuted_flows,
     std::vector<int64_t>* counts) const {
   const int64_t num_tasks = static_cast<int64_t>(permuted_flows.size()) + 1;
   counts->assign(static_cast<size_t>(num_tasks), 0);
+  QueryControl* const control = options_.control;
   if (options_.pool != nullptr) {
+    std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
     options_.pool->ParallelFor(num_tasks, [&](int64_t task) {
+      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
       FlowPrefixArena arena;
       if (task == 0) {
         arena.FillFromGraph(graph_);
@@ -91,12 +107,15 @@ void SignificanceAnalyzer::ReplayEnsemble(
       SkeletonReplayer replayer(&skeleton);
       (*counts)[static_cast<size_t>(task)] =
           replayer.Count(arena, options_.phi);
+      done[static_cast<size_t>(task)] = 1;
     });
-    return;
+    return DonePrefix(done);
   }
   FlowPrefixArena arena;
   SkeletonReplayer replayer(&skeleton);
+  int64_t completed = 0;
   for (int64_t task = 0; task < num_tasks; ++task) {
+    if (control != nullptr && control->CheckAt(failpoint::kSigTask)) break;
     if (task == 0) {
       arena.FillFromGraph(graph_);
     } else {
@@ -104,13 +123,16 @@ void SignificanceAnalyzer::ReplayEnsemble(
                           permuted_flows[static_cast<size_t>(task - 1)]);
     }
     (*counts)[static_cast<size_t>(task)] = replayer.Count(arena, options_.phi);
+    ++completed;
   }
+  return completed;
 }
 
-void SignificanceAnalyzer::ReplayEnsembleStreaming(
+int64_t SignificanceAnalyzer::ReplayEnsembleStreaming(
     const EnumerationSkeleton& skeleton, std::vector<int64_t>* counts) const {
   const int64_t num_tasks = options_.num_random_graphs + 1;  // 0 = real
   counts->assign(static_cast<size_t>(num_tasks), 0);
+  QueryControl* const control = options_.control;
   FlowPermutationStream stream(graph_, options_.seed);
 
   if (options_.pool == nullptr) {
@@ -119,15 +141,20 @@ void SignificanceAnalyzer::ReplayEnsembleStreaming(
     FlowPrefixArena arena;
     SkeletonReplayer replayer(&skeleton);
     std::vector<Flow> flows;
-    arena.FillFromGraph(graph_);
-    (*counts)[0] = replayer.Count(arena, options_.phi);
-    for (int64_t task = 1; task < num_tasks; ++task) {
-      stream.NextPermutationInto(&flows);
-      arena.FillFromFlows(graph_, flows);
+    int64_t completed = 0;
+    for (int64_t task = 0; task < num_tasks; ++task) {
+      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) break;
+      if (task == 0) {
+        arena.FillFromGraph(graph_);
+      } else {
+        stream.NextPermutationInto(&flows);
+        arena.FillFromFlows(graph_, flows);
+      }
       (*counts)[static_cast<size_t>(task)] =
           replayer.Count(arena, options_.phi);
+      ++completed;
     }
-    return;
+    return completed;
   }
 
   // Pool path: waves of pool-width tasks. Draws stay serial (the seeded
@@ -140,8 +167,10 @@ void SignificanceAnalyzer::ReplayEnsembleStreaming(
   std::vector<SkeletonReplayer> replayers;
   replayers.reserve(static_cast<size_t>(wave_width));
   for (int64_t s = 0; s < wave_width; ++s) replayers.emplace_back(&skeleton);
+  std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
   for (int64_t wave_first = 0; wave_first < num_tasks;
        wave_first += wave_width) {
+    if (control != nullptr && control->ShouldStop()) break;
     const int64_t wave_limit = std::min(num_tasks, wave_first + wave_width);
     for (int64_t t = std::max<int64_t>(1, wave_first); t < wave_limit; ++t) {
       stream.NextPermutationInto(&slot_flows[static_cast<size_t>(
@@ -149,6 +178,9 @@ void SignificanceAnalyzer::ReplayEnsembleStreaming(
     }
     options_.pool->ParallelFor(
         wave_limit - wave_first, [&](int64_t offset) {
+          if (control != nullptr && control->CheckAt(failpoint::kSigTask)) {
+            return;
+          }
           const int64_t task = wave_first + offset;
           FlowPrefixArena& arena = arenas[static_cast<size_t>(offset)];
           if (task == 0) {
@@ -160,8 +192,10 @@ void SignificanceAnalyzer::ReplayEnsembleStreaming(
           (*counts)[static_cast<size_t>(task)] =
               replayers[static_cast<size_t>(offset)].Count(arena,
                                                            options_.phi);
+          done[static_cast<size_t>(task)] = 1;
         });
   }
+  return DonePrefix(done);
 }
 
 SignificanceAnalyzer::PreparedMotif SignificanceAnalyzer::Prepare(
@@ -200,14 +234,19 @@ int64_t SignificanceAnalyzer::CountOn(const TimeSeriesGraph& target,
 }
 
 SignificanceAnalyzer::MotifReport SignificanceAnalyzer::BuildReport(
-    const Motif& motif, const std::vector<int64_t>& counts) const {
+    const Motif& motif, const std::vector<int64_t>& counts,
+    int64_t tasks_completed) const {
   MotifReport report;
   report.motif_name = motif.name();
+  report.graphs_completed = tasks_completed;
+  if (tasks_completed < 1) return report;  // not even the real count ran
   report.real_count = counts[0];
-  report.random_counts.reserve(counts.size() - 1);
-  for (size_t i = 1; i < counts.size(); ++i) {
-    report.random_counts.push_back(static_cast<double>(counts[i]));
+  report.random_counts.reserve(static_cast<size_t>(tasks_completed - 1));
+  for (int64_t i = 1; i < tasks_completed; ++i) {
+    report.random_counts.push_back(
+        static_cast<double>(counts[static_cast<size_t>(i)]));
   }
+  if (report.random_counts.empty()) return report;  // stats undefined
   report.random_summary = Summarize(report.random_counts);
   report.z_score =
       ZScore(static_cast<double>(report.real_count), report.random_counts);
@@ -218,8 +257,10 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::BuildReport(
 
 SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
     const Motif& motif) const {
+  QueryControl* const control = options_.control;
   SharedWindowCache cache(options_.delta, kEnsembleCacheEntries,
                           /*cross_graph=*/true);
+  cache.set_query_control(control);
   const PreparedMotif prepared = Prepare(motif, &cache);
 
   // Record-once / replay-many fast path: one timestamp-only recording
@@ -238,12 +279,13 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
       // no per-task allocation. Draws are serial from the seeded
       // stream, so permutation i matches view i for any pool size.
       std::vector<int64_t> counts;
-      ReplayEnsembleStreaming(skeleton, &counts);
-      MotifReport report = BuildReport(motif, counts);
+      const int64_t completed = ReplayEnsembleStreaming(skeleton, &counts);
+      MotifReport report = BuildReport(motif, counts, completed);
       report.used_skeleton_replay = true;
       report.skeleton_edges = static_cast<int64_t>(skeleton.num_edges());
       report.record_seconds = record_seconds;
       report.replay_seconds = replay_timer.ElapsedSeconds();
+      if (control != nullptr) report.termination = control->Finish(completed);
       return report;
     }
   }
@@ -263,8 +305,10 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
           ? std::max<int64_t>(1, options_.pool->num_threads())
           : 1;
   std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
+  std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
   for (int64_t wave_first = 0; wave_first < num_tasks;
        wave_first += wave_width) {
+    if (control != nullptr && control->ShouldStop()) break;
     const int64_t wave_limit = std::min(num_tasks, wave_first + wave_width);
     const int64_t first_random = std::max<int64_t>(1, wave_first);
     std::vector<TimeSeriesGraph> wave_views;
@@ -273,11 +317,13 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
       wave_views.push_back(graph_.WithPermutedFlows(&rng));
     }
     const auto count_one = [&](int64_t offset) {
+      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
       const int64_t task = wave_first + offset;
       const TimeSeriesGraph& target =
           task == 0 ? graph_
                     : wave_views[static_cast<size_t>(task - first_random)];
       counts[static_cast<size_t>(task)] = CountOn(target, motif, prepared);
+      done[static_cast<size_t>(task)] = 1;
     };
     if (options_.pool != nullptr) {
       options_.pool->ParallelFor(wave_limit - wave_first, count_one);
@@ -287,7 +333,11 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
       }
     }
   }
-  return BuildReport(motif, counts);
+  MotifReport report = BuildReport(motif, counts, DonePrefix(done));
+  if (control != nullptr) {
+    report.termination = control->Finish(report.graphs_completed);
+  }
+  return report;
 }
 
 std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
@@ -303,8 +353,10 @@ std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
   // fallback needs actual graphs. Holding either costs N flow arrays —
   // the price of the paper's one-set-of-randomized-datasets setup;
   // single-motif Analyze regenerates per call instead.
+  QueryControl* const control = options_.control;
   SharedWindowCache cache(options_.delta, kEnsembleCacheEntries,
                           /*cross_graph=*/true);
+  cache.set_query_control(control);
   std::vector<std::vector<Flow>> permuted_flows;  // replay ensemble, lazy
   std::vector<TimeSeriesGraph> views;             // fallback ensemble, lazy
   bool permuted_flows_ready = false;
@@ -325,12 +377,16 @@ std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
           permuted_flows_ready = true;
         }
         std::vector<int64_t> counts;
-        ReplayEnsemble(skeleton, permuted_flows, &counts);
-        MotifReport report = BuildReport(motif, counts);
+        const int64_t completed =
+            ReplayEnsemble(skeleton, permuted_flows, &counts);
+        MotifReport report = BuildReport(motif, counts, completed);
         report.used_skeleton_replay = true;
         report.skeleton_edges = static_cast<int64_t>(skeleton.num_edges());
         report.record_seconds = record_seconds;
         report.replay_seconds = replay_timer.ElapsedSeconds();
+        if (control != nullptr) {
+          report.termination = control->Finish(completed);
+        }
         reports.push_back(std::move(report));
         continue;
       }
@@ -342,17 +398,24 @@ std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
     }
     const int64_t num_tasks = static_cast<int64_t>(views.size()) + 1;
     std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
+    std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
     const auto count_one = [&](int64_t task) {
+      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
       const TimeSeriesGraph& target =
           task == 0 ? graph_ : views[static_cast<size_t>(task - 1)];
       counts[static_cast<size_t>(task)] = CountOn(target, motif, prepared);
+      done[static_cast<size_t>(task)] = 1;
     };
     if (options_.pool != nullptr) {
       options_.pool->ParallelFor(num_tasks, count_one);
     } else {
       for (int64_t task = 0; task < num_tasks; ++task) count_one(task);
     }
-    reports.push_back(BuildReport(motif, counts));
+    MotifReport report = BuildReport(motif, counts, DonePrefix(done));
+    if (control != nullptr) {
+      report.termination = control->Finish(report.graphs_completed);
+    }
+    reports.push_back(std::move(report));
   }
   return reports;
 }

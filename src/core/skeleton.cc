@@ -7,6 +7,8 @@
 
 #include "core/skeleton_kernel.h"
 #include "core/sliding_window.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace flowmotif {
@@ -416,7 +418,7 @@ void EnumerationSkeleton::RecordSweepDescending(
     const TimeSeriesGraph& graph, const Motif& motif,
     const std::vector<Timestamp>& deltas,
     const std::vector<MatchBinding>& matches, const Options& options,
-    std::vector<EnumerationSkeleton>* skeletons) {
+    std::vector<EnumerationSkeleton>* skeletons, QueryControl* control) {
   const size_t n = deltas.size();
   skeletons->clear();
   skeletons->resize(n);
@@ -471,7 +473,12 @@ void EnumerationSkeleton::RecordSweepDescending(
   const auto [first_src, first_dst] = motif.edge(0);
   const auto [last_src, last_dst] = motif.edge(m - 1);
 
+  bool stopped = false;
   for (size_t match_index = 0; match_index < matches.size(); ++match_index) {
+    if (control != nullptr && control->CheckAt(failpoint::kSweepRecord)) {
+      stopped = true;
+      break;
+    }
     const MatchBinding& binding = matches[match_index];
     const EdgeSeries* first_series =
         graph.FindSeries(binding[static_cast<size_t>(first_src)],
@@ -531,6 +538,14 @@ void EnumerationSkeleton::RecordSweepDescending(
       if (any_root) sk.match_viable_[match_index] = 1;
       alive = any_root;
     }
+  }
+
+  if (stopped) {
+    // A trace over a match prefix would replay wrong counts: abandon
+    // every delta so callers take their per-cell fallback (which
+    // observes the same stop and terminates promptly).
+    for (EnumerationSkeleton& sk : *skeletons) sk.Clear();
+    return;
   }
 
   for (size_t d = 0; d < n; ++d) {

@@ -172,11 +172,17 @@ class EnumerationSkeleton {
   /// recorded() == false; callers fall back for that delta only) and is
   /// excluded from the viability cascade, without disturbing the other
   /// deltas. `skeletons` is resized to deltas.size(), index-aligned.
+  /// `control` (optional) adds a cooperative cancellation point per
+  /// match scanned (site "sweep.record"). A stop aborts the whole
+  /// recording: every skeleton reports recorded() == false — a
+  /// half-recorded trace would replay wrong counts, so there is no
+  /// partial recording, only a clean fallback.
   static void RecordSweepDescending(
       const TimeSeriesGraph& graph, const Motif& motif,
       const std::vector<Timestamp>& deltas,
       const std::vector<MatchBinding>& matches, const Options& options,
-      std::vector<EnumerationSkeleton>* skeletons);
+      std::vector<EnumerationSkeleton>* skeletons,
+      QueryControl* control = nullptr);
 
   bool recorded() const { return recorded_; }
   size_t num_edges() const { return edge_lo_.size(); }

@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace flowmotif {
@@ -213,6 +215,16 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
   Node* node = new Node{first_id, last_id,
                         ComputeProcessedWindows(first, last, delta_),
                         nullptr};
+  if (control_ != nullptr) {
+    // Budget accounting happens at materialization, the only point
+    // where this query allocates window storage that outlives a match.
+    const int64_t elements = static_cast<int64_t>(node->windows.size());
+    control_->ChargeWindowElements(elements, failpoint::kCacheWindows);
+    control_->ChargeMemoryBytes(
+        elements * static_cast<int64_t>(sizeof(Window)) +
+            static_cast<int64_t>(sizeof(Node)),
+        failpoint::kCacheWindows);
+  }
   // CAS-insert at the bucket head. Insert-only means a failed CAS can
   // only have been caused by new nodes prepended since the last load —
   // re-scan just that prefix for a racing insert of the same key.

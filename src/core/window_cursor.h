@@ -32,6 +32,7 @@ namespace flowmotif {
 /// never hit within one graph.
 bool MotifHasInteriorNode(const Motif& motif);
 
+class QueryControl;
 class SharedWindowCache;
 
 /// True when window memoization can pay off for this (cache, motif)
@@ -222,6 +223,14 @@ class SharedWindowCache {
   Timestamp delta() const { return delta_; }
   size_t max_entries() const { return max_entries_; }
 
+  /// Attaches the owning query's lifecycle control: every window list
+  /// this cache computes is charged against the control's WorkBudget
+  /// (max_window_elements / max_memory_bytes, site "cache.windows").
+  /// Call before handing the cache to workers — the pointer is read
+  /// unsynchronized on the compute path. The control must outlive the
+  /// queries run through this cache; pass nullptr to detach.
+  void set_query_control(QueryControl* control) { control_ = control; }
+
   /// True when this cache is intended to serve several graphs sharing
   /// timestamp storage (a flow-permutation ensemble).
   bool cross_graph() const { return cross_graph_; }
@@ -244,6 +253,7 @@ class SharedWindowCache {
   const Timestamp delta_;
   const size_t max_entries_;
   const bool cross_graph_;
+  QueryControl* control_ = nullptr;  // budget charging; may be null
   std::vector<std::atomic<Node*>> buckets_;
   std::atomic<size_t> size_{0};
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -10,7 +11,10 @@
 #include "core/skeleton.h"
 #include "core/window_cursor.h"
 #include "engine/batching.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace flowmotif {
@@ -18,9 +22,64 @@ namespace flowmotif {
 namespace {
 
 int ResolveThreads(const QueryOptions& options) {
-  FLOWMOTIF_CHECK_GE(options.num_threads, 0);
+  // num_threads >= 0 was validated at the engine entry point.
   return options.num_threads == 0 ? ThreadPool::DefaultParallelism()
                                   : options.num_threads;
+}
+
+/// Entry-point validation of untrusted options; a failure becomes a
+/// kError termination, never a process abort.
+Status ValidateQueryOptions(const QueryOptions& options) {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options.batch_size < 0) {
+    return Status::InvalidArgument("batch_size must be >= 0");
+  }
+  if (options.delta < 0) {
+    return Status::InvalidArgument("delta must be non-negative");
+  }
+  if (options.phi < 0.0) {
+    return Status::InvalidArgument("phi must be non-negative");
+  }
+  if (options.mode == QueryMode::kTopK && options.k < 1) {
+    return Status::InvalidArgument("kTopK requires k >= 1");
+  }
+  if (options.mode == QueryMode::kSignificance &&
+      options.num_random_graphs <= 0) {
+    return Status::InvalidArgument(
+        "kSignificance requires num_random_graphs > 0");
+  }
+  return Status::OK();
+}
+
+/// The kError termination of a run that never started.
+Termination InvalidOptionsTermination(Status status) {
+  Termination termination;
+  termination.code = TerminationCode::kError;
+  termination.stopped_at = failpoint::kEngineStart;
+  termination.detail = "invalid options";
+  termination.status = std::move(status);
+  termination.work_completed = 0;
+  return termination;
+}
+
+/// Surfaces the pool's first task exception (satellite of the lifecycle
+/// work: a throwing task is recorded at the task boundary, the pool
+/// stays serviceable, and the submitting query reports it here). A
+/// thrown batch silently dropped its contribution, so on kError the
+/// partial results are best-effort, not a canonical prefix.
+void OverlayPoolError(ThreadPool* pool, Termination* termination) {
+  Status error = pool->TakeFirstError();
+  if (error.ok()) return;
+  if (termination->code == TerminationCode::kCompleted) {
+    termination->code = TerminationCode::kError;
+    termination->stopped_at = "thread_pool";
+    termination->detail = "worker task threw";
+    termination->status = std::move(error);
+  } else if (termination->status.ok()) {
+    termination->status = std::move(error);
+  }
 }
 
 EnumerationOptions ToEnumerationOptions(const QueryOptions& options) {
@@ -42,14 +101,19 @@ constexpr int64_t kStreamedBatchCap = 256;
 /// accounting, threshold feeding) cannot silently diverge.
 
 /// Enumerates one contiguous run of matches, streaming instances to
-/// `visitor` (which may be null for counters-only).
+/// `visitor` (which may be null for counters-only). `control` (may be
+/// null) is checked per match at site "p2.batch"; a stop ends the run
+/// after a leading prefix of its matches, so num_structural_matches <
+/// (end - begin) marks the run incomplete.
 EnumerationResult EnumerateRun(const FlowMotifEnumerator& enumerator,
                                const MatchBinding* begin,
                                const MatchBinding* end,
-                               const InstanceVisitor& visitor) {
+                               const InstanceVisitor& visitor,
+                               QueryControl* control) {
   EnumerationResult stats;
   WallTimer timer;
   for (const MatchBinding* m = begin; m < end; ++m) {
+    if (control != nullptr && control->CheckAt(failpoint::kP2Batch)) break;
     ++stats.num_structural_matches;
     enumerator.EnumerateMatch(*m, visitor, &stats);
   }
@@ -91,16 +155,63 @@ void ProcessTopKRun(const FlowMotifEnumerator& enumerator,
   total_stats->MergeFrom(stats);
 }
 
+/// Control-active top-k over one run. Unlike ProcessTopKRun, both the
+/// threshold and the collector are local to the run: a cross-run
+/// Observe would let out-of-prefix emissions tighten pruning inside
+/// prefix runs, and the fold of a run prefix would no longer be the
+/// exact top-k over exactly those matches. The price is slower
+/// threshold tightening (more surviving emissions), which changes
+/// pruning counters but never result entries.
+EnumerationResult TopKRunLocal(const TimeSeriesGraph& graph,
+                               const Motif& motif,
+                               const QueryOptions& options,
+                               SharedWindowCache* cache,
+                               const MatchBinding* begin,
+                               const MatchBinding* end,
+                               int64_t first_match_index,
+                               QueryControl* control, TopKCollector* local) {
+  SharedFlowThreshold threshold(options.k);
+  EnumerationOptions eopts;
+  eopts.delta = options.delta;
+  eopts.phi = options.phi;
+  eopts.strict_maximality = options.strict_maximality;
+  eopts.shared_window_cache = cache;
+  eopts.dynamic_min_flow_exclusive = [&threshold]() {
+    return threshold.ExclusiveBound();
+  };
+  const FlowMotifEnumerator enumerator(graph, motif, eopts);
+  EnumerationResult stats;
+  WallTimer timer;
+  int64_t m_index = first_match_index;
+  for (const MatchBinding* m = begin; m < end; ++m, ++m_index) {
+    if (control->CheckAt(failpoint::kP2Batch)) break;
+    ++stats.num_structural_matches;
+    int64_t emit_index = 0;
+    enumerator.EnumerateMatch(
+        *m,
+        [local, &threshold, m_index, &emit_index](const InstanceView& view) {
+          local->Offer(view.flow, DiscoveryRank{m_index, emit_index++}, view);
+          threshold.Observe(view.flow);
+          return true;
+        },
+        &stats);
+  }
+  stats.phase2_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
 /// Counts one contiguous run of matches. The run-local window MRU
 /// keeps consecutive same-pair matches cheap even when the shared
 /// cache declines the pair (saturation or gated-off memoization).
 InstanceCounter::Result CountRun(const InstanceCounter& counter,
                                  const MatchBinding* begin,
-                                 const MatchBinding* end, double* seconds) {
+                                 const MatchBinding* end,
+                                 QueryControl* control, double* seconds) {
   InstanceCounter::Result counts;
   WallTimer timer;
   WindowListMru window_mru;
   for (const MatchBinding* m = begin; m < end; ++m) {
+    if (control != nullptr && control->CheckAt(failpoint::kP2Batch)) break;
     ++counts.num_structural_matches;
     counts.num_instances += counter.CountMatch(*m, &counts, &window_mru);
   }
@@ -194,38 +305,46 @@ bool QueryEngine::CanStream(const QueryOptions& options) {
 QueryResult QueryEngine::Run(const Motif& motif,
                              const QueryOptions& options) const {
   WallTimer wall;
+  QueryResult result;
+  result.mode = options.mode;
+  const Status valid = ValidateQueryOptions(options);
+  if (!valid.ok()) {
+    result.termination = InvalidOptionsTermination(valid);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
+
+  const std::unique_ptr<QueryControl> control_owner = MakeQueryControl(
+      options.cancel_token, options.deadline, options.budget);
+  QueryControl* const control = control_owner.get();
   ThreadPool pool(ResolveThreads(options));
+  result.threads_used = pool.num_threads();
+
+  if (control != nullptr && control->CheckAt(failpoint::kEngineStart)) {
+    result.termination = control->Finish(0);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
 
   if (options.mode == QueryMode::kSignificance) {
-    QueryResult result;
-    result.mode = options.mode;
-    result.threads_used = pool.num_threads();
-    RunSignificance(motif, options, &pool, &result);
-    result.wall_seconds = wall.ElapsedSeconds();
-    return result;
+    RunSignificance(motif, options, &pool, control, &result);
+  } else if (pool.num_threads() > 1 && CanStream(options) &&
+             (control == nullptr || control->budget().max_matches < 0)) {
+    // A match budget forces the barrier path: exact truncation at
+    // max_matches needs the serial P1 scan of FindMatchesControlled.
+    RunStreamed(motif, options, &pool, control, &result);
+  } else {
+    // Barrier path: materialize the full match list (serial on one
+    // thread — the bit-for-bit reference — otherwise parallel over work
+    // units with a deterministic merge), then dispatch P2 over it.
+    WallTimer p1_timer;
+    const std::vector<MatchBinding> matches =
+        FindMatchesControlled(motif, &pool, control);
+    const double phase1_seconds = p1_timer.ElapsedSeconds();
+    Dispatch(motif, matches, options, &pool, control, &result);
+    result.stats.phase1_seconds = phase1_seconds;
   }
-
-  if (pool.num_threads() > 1 && CanStream(options)) {
-    QueryResult result;
-    result.mode = options.mode;
-    result.threads_used = pool.num_threads();
-    RunStreamed(motif, options, &pool, &result);
-    result.wall_seconds = wall.ElapsedSeconds();
-    return result;
-  }
-
-  // Barrier path: materialize the full match list (serial on one
-  // thread — the bit-for-bit reference — otherwise parallel over work
-  // units with a deterministic merge), then dispatch P2 over it.
-  WallTimer p1_timer;
-  const StructuralMatcher matcher(graph_, motif);
-  const std::vector<MatchBinding> matches =
-      pool.num_threads() == 1 ? matcher.FindAllMatches()
-                              : matcher.FindAllMatchesParallel(&pool);
-  const double phase1_seconds = p1_timer.ElapsedSeconds();
-
-  QueryResult result = Dispatch(motif, matches, options, &pool);
-  result.stats.phase1_seconds = phase1_seconds;
+  OverlayPoolError(&pool, &result.termination);
   result.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
@@ -233,35 +352,166 @@ QueryResult QueryEngine::Run(const Motif& motif,
 QueryResult QueryEngine::RunOnMatches(const Motif& motif,
                                       const std::vector<MatchBinding>& matches,
                                       const QueryOptions& options) const {
-  FLOWMOTIF_CHECK(options.mode != QueryMode::kSignificance)
-      << "kSignificance computes and reuses its own matches; use Run()";
   WallTimer wall;
+  QueryResult result;
+  result.mode = options.mode;
+  Status valid = ValidateQueryOptions(options);
+  if (valid.ok() && options.mode == QueryMode::kSignificance) {
+    valid = Status::InvalidArgument(
+        "kSignificance computes and reuses its own matches; use Run()");
+  }
+  if (!valid.ok()) {
+    result.termination = InvalidOptionsTermination(valid);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
+  const std::unique_ptr<QueryControl> control_owner = MakeQueryControl(
+      options.cancel_token, options.deadline, options.budget);
+  QueryControl* const control = control_owner.get();
   ThreadPool pool(ResolveThreads(options));
-  QueryResult result = Dispatch(motif, matches, options, &pool);
+  result.threads_used = pool.num_threads();
+  if (control != nullptr && control->CheckAt(failpoint::kEngineStart)) {
+    result.termination = control->Finish(0);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
+  Dispatch(motif, matches, options, &pool, control, &result);
+  OverlayPoolError(&pool, &result.termination);
   result.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
 
+std::vector<MatchBinding> QueryEngine::FindMatchesControlled(
+    const Motif& motif, ThreadPool* pool, QueryControl* control) const {
+  const StructuralMatcher matcher(graph_, motif);
+  if (control == nullptr) {
+    return pool->num_threads() == 1 ? matcher.FindAllMatches()
+                                    : matcher.FindAllMatchesParallel(pool);
+  }
+  const int64_t num_units = matcher.NumWorkUnits();
+  const int64_t max_matches = control->budget().max_matches;
+  if (max_matches >= 0) {
+    // Serial unit scan so the cut lands at exactly max_matches in
+    // canonical order, independent of scheduling. A hit is a soft
+    // truncation: P2 still runs, exactly, over the kept prefix.
+    std::vector<MatchBinding> matches;
+    bool hit_cap = false;
+    for (int64_t u = 0; u < num_units && !hit_cap; ++u) {
+      if (control->CheckAt(failpoint::kP1Unit)) break;
+      matcher.FindInUnits(u, u + 1, [&](const MatchBinding& binding) {
+        if (static_cast<int64_t>(matches.size()) >= max_matches) {
+          hit_cap = true;
+          return false;
+        }
+        matches.push_back(binding);
+        return true;
+      });
+    }
+    if (hit_cap) {
+      control->MarkTruncated(TerminationCode::kBudgetExceeded,
+                             failpoint::kP1Unit, "max_matches");
+    }
+    return matches;
+  }
+  // Parallel controlled scan: each range walks its units one at a time
+  // with a per-unit check; a stopped range keeps the matches of its
+  // leading units. The kept result is the longest canonical unit
+  // prefix — full leading ranges plus the first incomplete range's
+  // leading units; later ranges (even if they finished) are discarded
+  // because their units are not contiguous with the prefix.
+  const std::vector<MatchBatch> ranges =
+      PartitionMatches(num_units, pool->num_threads(), /*batch_size=*/0);
+  struct RangeOutput {
+    std::vector<MatchBinding> matches;
+    bool complete = false;
+  };
+  std::vector<RangeOutput> outputs(ranges.size());
+  pool->ParallelFor(static_cast<int64_t>(ranges.size()), [&](int64_t r) {
+    RangeOutput& out = outputs[static_cast<size_t>(r)];
+    const MatchBatch& range = ranges[static_cast<size_t>(r)];
+    for (int64_t u = range.begin; u < range.end; ++u) {
+      if (control->CheckAt(failpoint::kP1Unit)) return;
+      matcher.FindInUnits(u, u + 1, [&out](const MatchBinding& binding) {
+        out.matches.push_back(binding);
+        return true;
+      });
+    }
+    out.complete = true;
+  });
+  std::vector<MatchBinding> matches;
+  for (RangeOutput& out : outputs) {
+    matches.insert(matches.end(),
+                   std::make_move_iterator(out.matches.begin()),
+                   std::make_move_iterator(out.matches.end()));
+    if (!out.complete) break;
+  }
+  return matches;
+}
+
 SweepResult QueryEngine::RunSweep(const Motif& motif, const SweepQuery& sweep,
                                   const QueryOptions& options) const {
-  FLOWMOTIF_CHECK(!sweep.deltas.empty()) << "sweep needs at least one delta";
-  FLOWMOTIF_CHECK(!sweep.phis.empty()) << "sweep needs at least one phi";
   WallTimer wall;
-  ThreadPool pool(ResolveThreads(options));
   SweepResult result;
   result.deltas = sweep.deltas;
   result.phis = sweep.phis;
+  Status valid = Status::OK();
+  if (options.num_threads < 0) {
+    valid = Status::InvalidArgument("num_threads must be >= 0");
+  } else if (options.batch_size < 0) {
+    valid = Status::InvalidArgument("batch_size must be >= 0");
+  } else if (sweep.deltas.empty()) {
+    valid = Status::InvalidArgument("sweep needs at least one delta");
+  } else if (sweep.phis.empty()) {
+    valid = Status::InvalidArgument("sweep needs at least one phi");
+  } else {
+    for (const Timestamp delta : sweep.deltas) {
+      if (delta < 0) {
+        valid = Status::InvalidArgument("sweep deltas must be non-negative");
+        break;
+      }
+    }
+    for (const Flow phi : sweep.phis) {
+      if (phi < 0.0) {
+        valid = Status::InvalidArgument("sweep phis must be non-negative");
+        break;
+      }
+    }
+  }
+  if (!valid.ok()) {
+    result.termination = InvalidOptionsTermination(valid);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
   result.counts.assign(sweep.deltas.size() * sweep.phis.size(), 0);
+  result.cell_valid.assign(result.counts.size(), 0);
+
+  const std::unique_ptr<QueryControl> control_owner = MakeQueryControl(
+      options.cancel_token, options.deadline, options.budget);
+  QueryControl* const control = control_owner.get();
+  ThreadPool pool(ResolveThreads(options));
   result.threads_used = pool.num_threads();
+  if (control != nullptr && control->CheckAt(failpoint::kEngineStart)) {
+    result.termination = control->Finish(0);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
 
   // Phase P1 once for the whole grid: structural matches depend on
   // neither delta nor phi, so per-point querying re-derives the same
   // list |grid| times.
-  const StructuralMatcher matcher(graph_, motif);
   const std::vector<MatchBinding> matches =
-      pool.num_threads() == 1 ? matcher.FindAllMatches()
-                              : matcher.FindAllMatchesParallel(&pool);
+      FindMatchesControlled(motif, &pool, control);
   result.num_structural_matches = static_cast<int64_t>(matches.size());
+  if (control != nullptr && control->ShouldStop()) {
+    // A hard stop during P1 left an incomplete match list; no cell
+    // computed over it would equal its per-point kCount run, so all
+    // cells stay invalid. (A soft max_matches truncation is different:
+    // cells over the kept prefix are exact for that prefix.)
+    result.termination = control->Finish(0);
+    OverlayPoolError(&pool, &result.termination);
+    result.wall_seconds = wall.ElapsedSeconds();
+    return result;
+  }
 
   // Deltas are recorded largest-first regardless of the caller's grid
   // order: RecordSweepDescending makes one pass over the match list,
@@ -276,7 +526,6 @@ SweepResult QueryEngine::RunSweep(const Motif& motif, const SweepQuery& sweep,
   std::sort(order.begin(), order.end(), [&sweep](size_t a, size_t b) {
     return sweep.deltas[a] > sweep.deltas[b];
   });
-  for (const Timestamp delta : sweep.deltas) FLOWMOTIF_CHECK_GE(delta, 0);
 
   std::vector<EnumerationSkeleton> skeletons;  // aligned with `order`
   if (options.skeleton_replay) {
@@ -284,16 +533,22 @@ SweepResult QueryEngine::RunSweep(const Motif& motif, const SweepQuery& sweep,
     for (size_t i = 0; i < order.size(); ++i) {
       descending[i] = sweep.deltas[order[i]];
     }
+    // A stop mid-recording abandons every skeleton (a partial trace
+    // would replay wrong counts); the per-cell fallback below observes
+    // the same stop and terminates promptly.
     EnumerationSkeleton::RecordSweepDescending(
         graph_, motif, descending, matches, EnumerationSkeleton::Options(),
-        &skeletons);
+        &skeletons, control);
   }
 
+  int64_t valid_cells = 0;
+  bool stopped = false;
   FlowPrefixArena arena;  // real-graph prefixes; filled once, delta-free
-  for (size_t i = 0; i < order.size(); ++i) {
+  for (size_t i = 0; i < order.size() && !stopped; ++i) {
     const size_t d = order[i];
     const Timestamp delta = sweep.deltas[d];
     int64_t* row = result.counts.data() + d * sweep.phis.size();
+    uint8_t* row_valid = result.cell_valid.data() + d * sweep.phis.size();
     if (options.skeleton_replay && skeletons[i].recorded()) {
       // The recorded trace is phi-free: evaluate every slice flow once,
       // then each phi is one linear DP pass over the cached flows.
@@ -301,64 +556,87 @@ SweepResult QueryEngine::RunSweep(const Motif& motif, const SweepQuery& sweep,
       SkeletonReplayer replayer(&skeletons[i]);
       replayer.EvaluateFlows(arena);
       for (size_t p = 0; p < sweep.phis.size(); ++p) {
+        if (control != nullptr && control->CheckAt(failpoint::kSweepCell)) {
+          stopped = true;
+          break;
+        }
         row[p] = replayer.CountWithFlows(sweep.phis[p]);
+        row_valid[p] = 1;
+        ++valid_cells;
       }
-      ++result.num_replayed_deltas;
+      if (!stopped) ++result.num_replayed_deltas;
       continue;
     }
-    // Fallback (replay disabled or this delta's recording abandoned on
-    // budget): ordinary memoized counting per cell over the shared
-    // match list — the per-point kCount path minus its redundant P1
-    // runs.
+    // Fallback (replay disabled, stopped, or this delta's recording
+    // abandoned on budget): ordinary memoized counting per cell over
+    // the shared match list — the per-point kCount path minus its
+    // redundant P1 runs.
     for (size_t p = 0; p < sweep.phis.size(); ++p) {
+      if (control != nullptr && control->CheckAt(failpoint::kSweepCell)) {
+        stopped = true;
+        break;
+      }
       QueryOptions cell = options;
       cell.mode = QueryMode::kCount;
       cell.delta = delta;
       cell.phi = sweep.phis[p];
       QueryResult cell_result;
-      RunCount(motif, matches, cell, &pool, &cell_result);
+      RunCount(motif, matches, cell, &pool, control, &cell_result);
+      if (control != nullptr && control->ShouldStop()) {
+        // The cell itself was cut short; its count is partial.
+        stopped = true;
+        break;
+      }
       row[p] = cell_result.stats.num_instances;
+      row_valid[p] = 1;
+      ++valid_cells;
       ++result.num_fallback_cells;
     }
   }
+  if (control != nullptr) {
+    result.termination = control->Finish(valid_cells);
+  } else {
+    result.termination.work_completed = valid_cells;
+  }
+  OverlayPoolError(&pool, &result.termination);
   result.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
 
-QueryResult QueryEngine::Dispatch(const Motif& motif,
-                                  const std::vector<MatchBinding>& matches,
-                                  const QueryOptions& options,
-                                  ThreadPool* pool) const {
-  QueryResult result;
-  result.mode = options.mode;
-  result.threads_used = pool->num_threads();
+void QueryEngine::Dispatch(const Motif& motif,
+                           const std::vector<MatchBinding>& matches,
+                           const QueryOptions& options, ThreadPool* pool,
+                           QueryControl* control, QueryResult* result) const {
+  result->mode = options.mode;
+  result->threads_used = pool->num_threads();
   switch (options.mode) {
     case QueryMode::kEnumerate:
-      RunEnumerate(motif, matches, options, pool, &result);
+      RunEnumerate(motif, matches, options, pool, control, result);
       break;
     case QueryMode::kCount:
-      RunCount(motif, matches, options, pool, &result);
+      RunCount(motif, matches, options, pool, control, result);
       break;
     case QueryMode::kTopK:
-      RunTopK(motif, matches, options, pool, &result);
+      RunTopK(motif, matches, options, pool, control, result);
       break;
     case QueryMode::kTop1:
-      RunTop1(motif, matches, options, pool, &result);
+      RunTop1(motif, matches, options, pool, control, result);
       break;
     case QueryMode::kSignificance:
-      FLOWMOTIF_CHECK(false) << "handled by Run()";
+      FLOWMOTIF_CHECK(false) << "rejected at the entry points";
       break;
   }
-  return result;
 }
 
 void QueryEngine::RunEnumerate(const Motif& motif,
                                const std::vector<MatchBinding>& matches,
                                const QueryOptions& options, ThreadPool* pool,
+                               QueryControl* control,
                                QueryResult* result) const {
   // One shared window cache per query: every batch of every worker
   // reads per-match window lists through it (lock-free once built).
   SharedWindowCache window_cache(options.delta);
+  window_cache.set_query_control(control);
   EnumerationOptions eopts = ToEnumerationOptions(options);
   eopts.shared_window_cache = &window_cache;
   const FlowMotifEnumerator enumerator(graph_, motif, eopts);
@@ -393,11 +671,19 @@ void QueryEngine::RunEnumerate(const Motif& motif,
           };
         }
         out.stats = EnumerateRun(enumerator, matches.data() + batch.begin,
-                                 matches.data() + batch.end, visitor);
+                                 matches.data() + batch.end, visitor,
+                                 control);
       });
 
-  for (BatchOutput& out : outputs) {
+  // Fold in serial batch order. Under a control the fold keeps the
+  // longest contiguous run of complete batches plus the first
+  // incomplete batch's (leading) partial output — the canonical match
+  // prefix — and discards later batches even when they finished.
+  int64_t matches_done = 0;
+  for (size_t b = 0; b < outputs.size(); ++b) {
+    BatchOutput& out = outputs[b];
     result->stats.MergeFrom(out.stats);
+    matches_done += out.stats.num_structural_matches;
     for (MotifInstance& instance : out.collected) {
       if (limit >= 0 &&
           static_cast<int64_t>(result->instances.size()) >= limit) {
@@ -405,14 +691,22 @@ void QueryEngine::RunEnumerate(const Motif& motif,
       }
       result->instances.push_back(std::move(instance));
     }
+    if (control != nullptr &&
+        out.stats.num_structural_matches != batches[b].end - batches[b].begin) {
+      break;
+    }
+  }
+  if (control != nullptr) {
+    result->termination = control->Finish(matches_done);
   }
 }
 
 void QueryEngine::RunCount(const Motif& motif,
                            const std::vector<MatchBinding>& matches,
                            const QueryOptions& options, ThreadPool* pool,
-                           QueryResult* result) const {
+                           QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
+  window_cache.set_query_control(control);
   const InstanceCounter counter(graph_, motif, options.delta, options.phi,
                                 &window_cache);
   const std::vector<MatchBatch> batches = PartitionMatches(
@@ -431,58 +725,111 @@ void QueryEngine::RunCount(const Motif& motif,
         BatchOutput& out = outputs[static_cast<size_t>(b)];
         const MatchBatch& batch = batches[static_cast<size_t>(b)];
         out.counts = CountRun(counter, matches.data() + batch.begin,
-                              matches.data() + batch.end, &out.seconds);
+                              matches.data() + batch.end, control,
+                              &out.seconds);
       });
 
-  for (const BatchOutput& out : outputs) {
+  // Serial-order prefix fold (see RunEnumerate).
+  int64_t matches_done = 0;
+  for (size_t b = 0; b < outputs.size(); ++b) {
+    const BatchOutput& out = outputs[b];
     AccumulateCounts(out.counts, out.seconds, result);
+    matches_done += out.counts.num_structural_matches;
+    if (control != nullptr && out.counts.num_structural_matches !=
+                                  batches[b].end - batches[b].begin) {
+      break;
+    }
+  }
+  if (control != nullptr) {
+    result->termination = control->Finish(matches_done);
   }
 }
 
 void QueryEngine::RunTopK(const Motif& motif,
                           const std::vector<MatchBinding>& matches,
                           const QueryOptions& options, ThreadPool* pool,
-                          QueryResult* result) const {
-  FLOWMOTIF_CHECK_GE(options.k, 1);
-  // The shared threshold tracks the k-th best flow across *all* workers'
-  // emissions (Observe), so it tightens before any single collector
-  // fills and matches the serial searcher's pruning rate.
-  SharedFlowThreshold shared(options.k);
+                          QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
-  EnumerationOptions eopts = ToEnumerationOptions(options);
-  eopts.dynamic_min_flow_exclusive = [&shared]() {
-    return shared.ExclusiveBound();
-  };
-  eopts.shared_window_cache = &window_cache;
-  const FlowMotifEnumerator enumerator(graph_, motif, eopts);
+  window_cache.set_query_control(control);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
   result->num_batches = static_cast<int64_t>(batches.size());
 
-  // Completed batches fold into one global collector. The fold order is
-  // whatever order batches finish in — harmless, because the bounded
-  // collector's contents are insertion-order-independent and the
-  // counters are sums.
-  TopKCollector global(options.k);
-  std::mutex global_mu;
+  if (control == nullptr) {
+    // The shared threshold tracks the k-th best flow across *all*
+    // workers' emissions (Observe), so it tightens before any single
+    // collector fills and matches the serial searcher's pruning rate.
+    SharedFlowThreshold shared(options.k);
+    EnumerationOptions eopts = ToEnumerationOptions(options);
+    eopts.dynamic_min_flow_exclusive = [&shared]() {
+      return shared.ExclusiveBound();
+    };
+    eopts.shared_window_cache = &window_cache;
+    const FlowMotifEnumerator enumerator(graph_, motif, eopts);
 
+    // Completed batches fold into one global collector. The fold order
+    // is whatever order batches finish in — harmless, because the
+    // bounded collector's contents are insertion-order-independent and
+    // the counters are sums.
+    TopKCollector global(options.k);
+    std::mutex global_mu;
+
+    pool->ParallelFor(
+        static_cast<int64_t>(batches.size()), [&](int64_t b) {
+          const MatchBatch& batch = batches[static_cast<size_t>(b)];
+          ProcessTopKRun(enumerator, matches.data() + batch.begin,
+                         matches.data() + batch.end, batch.begin, options.k,
+                         &shared, &global, &result->stats, &global_mu);
+        });
+
+    result->topk = global.Drain();
+    return;
+  }
+
+  // Control active: batch-local thresholds and collectors
+  // (TopKRunLocal) keep every pruning decision inside its batch, so
+  // the serial-order prefix fold below yields the exact top-k over
+  // exactly the prefix matches.
+  struct BatchOutput {
+    std::unique_ptr<TopKCollector> local;
+    EnumerationResult stats;
+  };
+  std::vector<BatchOutput> outputs(batches.size());
   pool->ParallelFor(
       static_cast<int64_t>(batches.size()), [&](int64_t b) {
+        BatchOutput& out = outputs[static_cast<size_t>(b)];
         const MatchBatch& batch = batches[static_cast<size_t>(b)];
-        ProcessTopKRun(enumerator, matches.data() + batch.begin,
-                       matches.data() + batch.end, batch.begin, options.k,
-                       &shared, &global, &result->stats, &global_mu);
+        out.local = std::make_unique<TopKCollector>(options.k);
+        out.stats = TopKRunLocal(graph_, motif, options, &window_cache,
+                                 matches.data() + batch.begin,
+                                 matches.data() + batch.end, batch.begin,
+                                 control, out.local.get());
       });
 
+  TopKCollector global(options.k);
+  int64_t matches_done = 0;
+  for (size_t b = 0; b < outputs.size(); ++b) {
+    BatchOutput& out = outputs[b];
+    if (out.local == nullptr) break;  // batch task died before starting
+    global.MergeFrom(std::move(*out.local));
+    result->stats.MergeFrom(out.stats);
+    matches_done += out.stats.num_structural_matches;
+    if (out.stats.num_structural_matches !=
+        batches[b].end - batches[b].begin) {
+      break;
+    }
+  }
   result->topk = global.Drain();
+  result->termination = control->Finish(matches_done);
 }
 
 void QueryEngine::RunTop1(const Motif& motif,
                           const std::vector<MatchBinding>& matches,
                           const QueryOptions& options, ThreadPool* pool,
-                          QueryResult* result) const {
+                          QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
+  window_cache.set_query_control(control);
   const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
                                    &window_cache);
   const std::vector<MatchBatch> batches = PartitionMatches(
@@ -499,28 +846,45 @@ void QueryEngine::RunTop1(const Motif& motif,
             scratch_pool.Acquire();
         outputs[static_cast<size_t>(b)] = searcher.RunOnMatches(
             matches.data() + batch.begin, matches.data() + batch.end,
-            scratch.get());
+            scratch.get(), control);
         scratch_pool.Release(std::move(scratch));
       });
 
-  MaxFlowDpSearcher::Result best = MergeTop1Outputs(&outputs);
+  // Serial-order prefix fold (see RunEnumerate); the incumbent of a
+  // batch covers exactly its matches_processed leading matches.
+  int64_t matches_done = 0;
+  std::vector<MaxFlowDpSearcher::Result> prefix;
+  prefix.reserve(outputs.size());
+  for (size_t b = 0; b < outputs.size(); ++b) {
+    matches_done += outputs[b].matches_processed;
+    const bool complete =
+        outputs[b].matches_processed == batches[b].end - batches[b].begin;
+    prefix.push_back(std::move(outputs[b]));
+    if (control != nullptr && !complete) break;
+  }
+  MaxFlowDpSearcher::Result best = MergeTop1Outputs(&prefix);
   result->stats.num_structural_matches =
-      static_cast<int64_t>(matches.size());
+      control != nullptr ? matches_done
+                         : static_cast<int64_t>(matches.size());
   result->stats.num_windows_processed = best.num_windows;
   result->stats.phase2_seconds = best.seconds;
   if (best.found) result->stats.num_instances = 1;
   result->top1 = std::move(best);
+  if (control != nullptr) {
+    result->termination = control->Finish(matches_done);
+  }
 }
 
 QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
     const Motif& motif, const QueryOptions& options, ThreadPool* pool,
-    const StreamBatchFn& batch_fn) const {
+    QueryControl* control, const StreamBatchFn& batch_fn) const {
   const StructuralMatcher matcher(graph_, motif);
   // P1 shards: contiguous work-unit ranges, several per worker so
   // dynamic scheduling absorbs the match-density skew across origins.
   const std::vector<MatchBatch> ranges = PartitionMatches(
       matcher.NumWorkUnits(), pool->num_threads(), /*batch_size=*/0);
   StreamStats stats;
+  stats.stopped_shard_min = std::numeric_limits<int64_t>::max();
   if (ranges.empty()) return stats;
   const int64_t batch_cap =
       options.batch_size > 0 ? options.batch_size : kStreamedBatchCap;
@@ -533,6 +897,9 @@ QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
   // immediately).
   std::vector<std::atomic<int64_t>> pending_batches(ranges.size());
   std::mutex stats_mu;
+  // Smallest shard whose P1 scan the control stopped; relaxed is
+  // enough, the fold reads it after pool->Wait().
+  std::atomic<int64_t> stopped_min{std::numeric_limits<int64_t>::max()};
 
   // Every task — P1 shard and P2 batch alike — goes through the one
   // pool's FIFO queue; a shard task that completes the release prefix
@@ -544,11 +911,34 @@ QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
     pool->Submit([&, r] {
       WallTimer timer;
       std::vector<MatchBinding> shard;
-      matcher.FindInUnits(ranges[r].begin, ranges[r].end,
-                          [&shard](const MatchBinding& binding) {
-                            shard.push_back(binding);
-                            return true;
-                          });
+      if (control == nullptr) {
+        matcher.FindInUnits(ranges[r].begin, ranges[r].end,
+                            [&shard](const MatchBinding& binding) {
+                              shard.push_back(binding);
+                              return true;
+                            });
+      } else {
+        // Per-unit scan with a cancellation point; a stop keeps the
+        // shard's leading units (a canonical prefix within the shard)
+        // and records the shard so the caller's fold can discard every
+        // later shard's batches.
+        for (int64_t u = ranges[r].begin; u < ranges[r].end; ++u) {
+          if (control->CheckAt(failpoint::kP1Unit)) {
+            int64_t cur = stopped_min.load(std::memory_order_relaxed);
+            while (static_cast<int64_t>(r) < cur &&
+                   !stopped_min.compare_exchange_weak(
+                       cur, static_cast<int64_t>(r),
+                       std::memory_order_relaxed)) {
+            }
+            break;
+          }
+          matcher.FindInUnits(u, u + 1,
+                              [&shard](const MatchBinding& binding) {
+                                shard.push_back(binding);
+                                return true;
+                              });
+        }
+      }
       const double p1_seconds = timer.ElapsedSeconds();
       const std::vector<ShardPrefixMerger::ReleasedShardEntry> released =
           merger.Complete(static_cast<int64_t>(r), std::move(shard));
@@ -574,7 +964,7 @@ QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
           // the batch/free cadence is what bounds in-flight memory.
           pool->SubmitFront([&batch_fn, &merger, &pending_batches,
                              shard_index = entry.shard, data, len, first] {
-            batch_fn(first, data, data + len);
+            batch_fn(first, shard_index, data, data + len);
             // acq_rel orders every batch's reads of the buffer before
             // the last decrementer's free.
             if (pending_batches[static_cast<size_t>(shard_index)].fetch_sub(
@@ -591,141 +981,281 @@ QueryEngine::StreamStats QueryEngine::StreamTwoPhase(
   }
   pool->Wait();
   stats.num_matches = merger.num_released();
+  stats.stopped_shard_min = stopped_min.load(std::memory_order_relaxed);
   return stats;
 }
 
 void QueryEngine::RunStreamed(const Motif& motif,
                               const QueryOptions& options, ThreadPool* pool,
+                              QueryControl* control,
                               QueryResult* result) const {
+  // Every mode defers per-batch entries keyed by (first serial match
+  // index, shard) and folds them in serial order afterwards — never a
+  // torn merge. Under a control the fold keeps the longest contiguous
+  // run of batches that (a) starts at match 0, (b) comes from a shard
+  // no later than the first P1-stopped one (later shards' matches are
+  // not part of any canonical prefix), and (c) ends at the first batch
+  // whose own P2 loop was cut short, whose leading partial output is
+  // still included.
   switch (options.mode) {
     case QueryMode::kEnumerate: {
       SharedWindowCache window_cache(options.delta);
+      window_cache.set_query_control(control);
       EnumerationOptions eopts = ToEnumerationOptions(options);
       eopts.shared_window_cache = &window_cache;
       const FlowMotifEnumerator enumerator(graph_, motif, eopts);
       const int64_t limit = options.collect_limit;
       std::mutex mu;
-      // Per-batch collection, keyed by the batch's first serial match
-      // index. Batches complete (and fold) in arbitrary order; the
-      // counters are sums, and the collected runs are sorted back into
-      // serial order below before the global truncation — each batch
-      // keeps at most `limit` instances, which necessarily include every
-      // one of the global first `limit` that falls in the batch.
-      std::vector<std::pair<int64_t, std::vector<MotifInstance>>> collected;
+      struct Entry {
+        int64_t first = 0;
+        int64_t shard = 0;
+        int64_t len = 0;
+        EnumerationResult stats;
+        std::vector<MotifInstance> collected;
+      };
+      // Each batch keeps at most `limit` instances, which necessarily
+      // include every one of the global first `limit` that falls in
+      // the batch, so the in-order fold can truncate without losing
+      // any of them.
+      std::vector<Entry> entries;
       const StreamStats stream = StreamTwoPhase(
-          motif, options, pool,
-          [&](int64_t first, const MatchBinding* begin,
+          motif, options, pool, control,
+          [&](int64_t first, int64_t shard, const MatchBinding* begin,
               const MatchBinding* end) {
-            std::vector<MotifInstance> local_collected;
+            Entry e;
+            e.first = first;
+            e.shard = shard;
+            e.len = end - begin;
             InstanceVisitor visitor;  // stays null when limit == 0
             if (limit != 0) {
-              visitor = [&local_collected, limit](const InstanceView& view) {
+              visitor = [&e, limit](const InstanceView& view) {
                 if (limit < 0 ||
-                    static_cast<int64_t>(local_collected.size()) < limit) {
-                  local_collected.push_back(view.Materialize());
+                    static_cast<int64_t>(e.collected.size()) < limit) {
+                  e.collected.push_back(view.Materialize());
                 }
                 return true;
               };
             }
-            const EnumerationResult local =
-                EnumerateRun(enumerator, begin, end, visitor);
+            e.stats = EnumerateRun(enumerator, begin, end, visitor, control);
             std::lock_guard<std::mutex> lock(mu);
-            result->stats.MergeFrom(local);
-            if (!local_collected.empty()) {
-              collected.emplace_back(first, std::move(local_collected));
-            }
+            entries.push_back(std::move(e));
           });
-      std::sort(collected.begin(), collected.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      for (auto& [first, run] : collected) {
-        for (MotifInstance& instance : run) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.first < b.first;
+                });
+      int64_t expected = 0;
+      int64_t matches_done = 0;
+      for (Entry& e : entries) {
+        if (control != nullptr &&
+            (e.first != expected || e.shard > stream.stopped_shard_min)) {
+          break;
+        }
+        result->stats.MergeFrom(e.stats);
+        matches_done += e.stats.num_structural_matches;
+        for (MotifInstance& instance : e.collected) {
           if (limit >= 0 &&
               static_cast<int64_t>(result->instances.size()) >= limit) {
             break;
           }
           result->instances.push_back(std::move(instance));
         }
+        if (control != nullptr && e.stats.num_structural_matches != e.len) {
+          break;
+        }
+        expected = e.first + e.len;
       }
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->num_batches = stream.num_batches;
+      if (control != nullptr) {
+        result->termination = control->Finish(matches_done);
+      }
       return;
     }
     case QueryMode::kCount: {
       SharedWindowCache window_cache(options.delta);
+      window_cache.set_query_control(control);
       const InstanceCounter counter(graph_, motif, options.delta,
                                     options.phi, &window_cache);
       std::mutex mu;
+      struct Entry {
+        int64_t first = 0;
+        int64_t shard = 0;
+        int64_t len = 0;
+        InstanceCounter::Result counts;
+        double seconds = 0.0;
+      };
+      std::vector<Entry> entries;
       const StreamStats stream = StreamTwoPhase(
-          motif, options, pool,
-          [&](int64_t, const MatchBinding* begin, const MatchBinding* end) {
-            double seconds = 0.0;
-            const InstanceCounter::Result counts =
-                CountRun(counter, begin, end, &seconds);
+          motif, options, pool, control,
+          [&](int64_t first, int64_t shard, const MatchBinding* begin,
+              const MatchBinding* end) {
+            Entry e;
+            e.first = first;
+            e.shard = shard;
+            e.len = end - begin;
+            e.counts = CountRun(counter, begin, end, control, &e.seconds);
             std::lock_guard<std::mutex> lock(mu);
-            AccumulateCounts(counts, seconds, result);
+            entries.push_back(std::move(e));
           });
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.first < b.first;
+                });
+      int64_t expected = 0;
+      int64_t matches_done = 0;
+      for (const Entry& e : entries) {
+        if (control != nullptr &&
+            (e.first != expected || e.shard > stream.stopped_shard_min)) {
+          break;
+        }
+        AccumulateCounts(e.counts, e.seconds, result);
+        matches_done += e.counts.num_structural_matches;
+        if (control != nullptr && e.counts.num_structural_matches != e.len) {
+          break;
+        }
+        expected = e.first + e.len;
+      }
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->num_batches = stream.num_batches;
+      if (control != nullptr) {
+        result->termination = control->Finish(matches_done);
+      }
       return;
     }
     case QueryMode::kTopK: {
-      FLOWMOTIF_CHECK_GE(options.k, 1);
-      SharedFlowThreshold shared(options.k);
       SharedWindowCache window_cache(options.delta);
-      EnumerationOptions eopts = ToEnumerationOptions(options);
-      eopts.dynamic_min_flow_exclusive = [&shared]() {
-        return shared.ExclusiveBound();
+      window_cache.set_query_control(control);
+      if (control == nullptr) {
+        SharedFlowThreshold shared(options.k);
+        EnumerationOptions eopts = ToEnumerationOptions(options);
+        eopts.dynamic_min_flow_exclusive = [&shared]() {
+          return shared.ExclusiveBound();
+        };
+        eopts.shared_window_cache = &window_cache;
+        const FlowMotifEnumerator enumerator(graph_, motif, eopts);
+        TopKCollector global(options.k);
+        std::mutex mu;
+        const StreamStats stream = StreamTwoPhase(
+            motif, options, pool, control,
+            [&](int64_t first, int64_t, const MatchBinding* begin,
+                const MatchBinding* end) {
+              ProcessTopKRun(enumerator, begin, end, first, options.k,
+                             &shared, &global, &result->stats, &mu);
+            });
+        result->stats.phase1_seconds = stream.p1_cpu_seconds;
+        result->num_batches = stream.num_batches;
+        result->topk = global.Drain();
+        return;
+      }
+      // Control active: batch-local thresholds/collectors
+      // (TopKRunLocal) so the prefix fold is exact — see RunTopK.
+      struct Entry {
+        int64_t first = 0;
+        int64_t shard = 0;
+        int64_t len = 0;
+        std::unique_ptr<TopKCollector> local;
+        EnumerationResult stats;
       };
-      eopts.shared_window_cache = &window_cache;
-      const FlowMotifEnumerator enumerator(graph_, motif, eopts);
-      TopKCollector global(options.k);
+      std::vector<Entry> entries;
       std::mutex mu;
       const StreamStats stream = StreamTwoPhase(
-          motif, options, pool,
-          [&](int64_t first, const MatchBinding* begin,
+          motif, options, pool, control,
+          [&](int64_t first, int64_t shard, const MatchBinding* begin,
               const MatchBinding* end) {
-            ProcessTopKRun(enumerator, begin, end, first, options.k,
-                           &shared, &global, &result->stats, &mu);
+            Entry e;
+            e.first = first;
+            e.shard = shard;
+            e.len = end - begin;
+            e.local = std::make_unique<TopKCollector>(options.k);
+            e.stats = TopKRunLocal(graph_, motif, options, &window_cache,
+                                   begin, end, first, control, e.local.get());
+            std::lock_guard<std::mutex> lock(mu);
+            entries.push_back(std::move(e));
           });
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.first < b.first;
+                });
+      TopKCollector global(options.k);
+      int64_t expected = 0;
+      int64_t matches_done = 0;
+      for (Entry& e : entries) {
+        if (e.first != expected || e.shard > stream.stopped_shard_min) break;
+        global.MergeFrom(std::move(*e.local));
+        result->stats.MergeFrom(e.stats);
+        matches_done += e.stats.num_structural_matches;
+        if (e.stats.num_structural_matches != e.len) break;
+        expected = e.first + e.len;
+      }
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->num_batches = stream.num_batches;
       result->topk = global.Drain();
+      result->termination = control->Finish(matches_done);
       return;
     }
     case QueryMode::kTop1: {
       SharedWindowCache window_cache(options.delta);
+      window_cache.set_query_control(control);
       const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
                                        &window_cache);
       std::mutex mu;
-      std::vector<std::pair<int64_t, MaxFlowDpSearcher::Result>> outputs;
+      struct Entry {
+        int64_t first = 0;
+        int64_t shard = 0;
+        int64_t len = 0;
+        MaxFlowDpSearcher::Result out;
+      };
+      std::vector<Entry> entries;
       DpScratchPool scratch_pool;
       const StreamStats stream = StreamTwoPhase(
-          motif, options, pool,
-          [&](int64_t first, const MatchBinding* begin,
+          motif, options, pool, control,
+          [&](int64_t first, int64_t shard, const MatchBinding* begin,
               const MatchBinding* end) {
             std::unique_ptr<MaxFlowDpSearcher::Scratch> scratch =
                 scratch_pool.Acquire();
-            MaxFlowDpSearcher::Result out =
-                searcher.RunOnMatches(begin, end, scratch.get());
+            Entry e;
+            e.first = first;
+            e.shard = shard;
+            e.len = end - begin;
+            e.out = searcher.RunOnMatches(begin, end, scratch.get(), control);
             scratch_pool.Release(std::move(scratch));
             std::lock_guard<std::mutex> lock(mu);
-            outputs.emplace_back(first, std::move(out));
+            entries.push_back(std::move(e));
           });
       // Restore serial batch order before folding so the "earliest
       // match wins flow ties" rule sees batches in match order.
-      std::sort(outputs.begin(), outputs.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.first < b.first;
+                });
       std::vector<MaxFlowDpSearcher::Result> ordered;
-      ordered.reserve(outputs.size());
-      for (auto& entry : outputs) ordered.push_back(std::move(entry.second));
+      ordered.reserve(entries.size());
+      int64_t expected = 0;
+      int64_t matches_done = 0;
+      for (Entry& e : entries) {
+        if (control != nullptr &&
+            (e.first != expected || e.shard > stream.stopped_shard_min)) {
+          break;
+        }
+        matches_done += e.out.matches_processed;
+        const bool complete = e.out.matches_processed == e.len;
+        ordered.push_back(std::move(e.out));
+        if (control != nullptr && !complete) break;
+        expected = e.first + e.len;
+      }
       MaxFlowDpSearcher::Result best = MergeTop1Outputs(&ordered);
-      result->stats.num_structural_matches = stream.num_matches;
+      result->stats.num_structural_matches =
+          control != nullptr ? matches_done : stream.num_matches;
       result->stats.num_windows_processed = best.num_windows;
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->stats.phase2_seconds = best.seconds;
       result->num_batches = stream.num_batches;
       if (best.found) result->stats.num_instances = 1;
       result->top1 = std::move(best);
+      if (control != nullptr) {
+        result->termination = control->Finish(matches_done);
+      }
       return;
     }
     case QueryMode::kSignificance:
@@ -755,9 +1285,9 @@ std::unique_ptr<StreamingMotifMonitor> QueryEngine::OpenStream(
 
 void QueryEngine::RunSignificance(const Motif& motif,
                                   const QueryOptions& options,
-                                  ThreadPool* pool,
+                                  ThreadPool* pool, QueryControl* control,
                                   QueryResult* result) const {
-  FLOWMOTIF_CHECK_GT(options.num_random_graphs, 0);
+  // num_random_graphs > 0 was validated at the engine entry point.
   SignificanceAnalyzer::Options sopts;
   sopts.num_random_graphs = options.num_random_graphs;
   sopts.seed = options.seed;
@@ -766,6 +1296,7 @@ void QueryEngine::RunSignificance(const Motif& motif,
   sopts.reuse_matches = true;
   sopts.skeleton_replay = options.skeleton_replay;
   sopts.pool = pool;
+  sopts.control = control;
   // Unlike the other modes, the per-query window cache is owned by the
   // analyzer, not created here: the analyzer's cache is cross-graph
   // (keyed on timestamp-storage identity), so the window lists it
@@ -775,6 +1306,7 @@ void QueryEngine::RunSignificance(const Motif& motif,
   const SignificanceAnalyzer analyzer(graph_, sopts);
   result->significance = analyzer.Analyze(motif);
   result->stats.num_instances = result->significance.real_count;
+  result->termination = result->significance.termination;
 }
 
 }  // namespace flowmotif

@@ -64,6 +64,14 @@ struct QueryResult {
   int threads_used = 1;
   int64_t num_batches = 0;
   double wall_seconds = 0.0;
+
+  /// Lifecycle outcome (DESIGN.md Sec. 10). When not complete(), the
+  /// payload covers exactly the first `termination.work_completed`
+  /// structural matches in canonical (serial discovery) order — a
+  /// deterministic prefix for a given stop point, never a torn merge —
+  /// except after kError (a worker task threw, or the options failed
+  /// validation), where partial results are best-effort.
+  Termination termination;
 };
 
 /// Result of QueryEngine::RunSweep: one instance count per cell of the
@@ -88,6 +96,14 @@ struct SweepResult {
   int64_t num_fallback_cells = 0;
   int threads_used = 1;
   double wall_seconds = 0.0;
+
+  /// Lifecycle outcome. When not complete(), only cells with
+  /// cell_valid[i] != 0 were computed (work_completed counts them);
+  /// the other counts entries are meaningless zeros. A budget-truncated
+  /// match list (WorkBudget::max_matches) marks cells valid over that
+  /// match prefix and reports kBudgetExceeded.
+  Termination termination;
+  std::vector<uint8_t> cell_valid;  // aligned with counts; 1 = computed
 };
 
 /// The single entry point for flow motif queries: one facade over the
@@ -153,45 +169,66 @@ class QueryEngine {
   /// P2 batches (nothing forces the full match list to exist at once).
   static bool CanStream(const QueryOptions& options);
 
-  QueryResult Dispatch(const Motif& motif,
-                       const std::vector<MatchBinding>& matches,
-                       const QueryOptions& options, ThreadPool* pool) const;
+  /// Phase P1 under an optional lifecycle control (may be null; null =
+  /// the unchanged default paths). With WorkBudget::max_matches set the
+  /// scan runs serially and truncates at exactly that many matches (a
+  /// soft kBudgetExceeded: P2 still runs over the prefix); otherwise
+  /// work units are scanned in parallel with a per-unit check (site
+  /// "p1.unit") and a stop yields the canonical prefix — every fully
+  /// scanned leading unit range plus the stopped range's leading units.
+  std::vector<MatchBinding> FindMatchesControlled(const Motif& motif,
+                                                  ThreadPool* pool,
+                                                  QueryControl* control) const;
+
+  void Dispatch(const Motif& motif, const std::vector<MatchBinding>& matches,
+                const QueryOptions& options, ThreadPool* pool,
+                QueryControl* control, QueryResult* result) const;
 
   /// The streamed two-phase executor: P1 work-unit shard tasks and the
   /// P2 match-batch tasks they spawn share `pool`; `batch_fn` is
   /// invoked concurrently for disjoint contiguous match runs, with
   /// `first_match_index` the serial-order index of `*begin` (the
-  /// DiscoveryRank key).
+  /// DiscoveryRank key) and `shard` the P1 shard the run came from.
+  /// Under a control, a shard whose P1 scan stops contributes its
+  /// partial (canonically leading) matches and records itself in
+  /// stopped_shard_min; match runs from later shards are not part of
+  /// any canonical prefix and must be discarded by the caller's fold.
   struct StreamStats {
     double p1_cpu_seconds = 0.0;  // aggregate across P1 shard tasks
     int64_t num_matches = 0;
     int64_t num_batches = 0;
+    /// Smallest shard index whose P1 scan was stopped by the control;
+    /// int64_t max when none was.
+    int64_t stopped_shard_min = 0;
   };
   using StreamBatchFn = std::function<void(
-      int64_t first_match_index, const MatchBinding* begin,
+      int64_t first_match_index, int64_t shard, const MatchBinding* begin,
       const MatchBinding* end)>;
   StreamStats StreamTwoPhase(const Motif& motif,
                              const QueryOptions& options, ThreadPool* pool,
+                             QueryControl* control,
                              const StreamBatchFn& batch_fn) const;
 
   void RunStreamed(const Motif& motif, const QueryOptions& options,
-                   ThreadPool* pool, QueryResult* result) const;
+                   ThreadPool* pool, QueryControl* control,
+                   QueryResult* result) const;
 
   void RunEnumerate(const Motif& motif,
                     const std::vector<MatchBinding>& matches,
                     const QueryOptions& options, ThreadPool* pool,
-                    QueryResult* result) const;
+                    QueryControl* control, QueryResult* result) const;
   void RunCount(const Motif& motif, const std::vector<MatchBinding>& matches,
                 const QueryOptions& options, ThreadPool* pool,
-                QueryResult* result) const;
+                QueryControl* control, QueryResult* result) const;
   void RunTopK(const Motif& motif, const std::vector<MatchBinding>& matches,
                const QueryOptions& options, ThreadPool* pool,
-               QueryResult* result) const;
+               QueryControl* control, QueryResult* result) const;
   void RunTop1(const Motif& motif, const std::vector<MatchBinding>& matches,
                const QueryOptions& options, ThreadPool* pool,
-               QueryResult* result) const;
+               QueryControl* control, QueryResult* result) const;
   void RunSignificance(const Motif& motif, const QueryOptions& options,
-                       ThreadPool* pool, QueryResult* result) const;
+                       ThreadPool* pool, QueryControl* control,
+                       QueryResult* result) const;
 
   const TimeSeriesGraph& graph_;
 };

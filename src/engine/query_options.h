@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/cancellation.h"
 
 namespace flowmotif {
 
@@ -61,6 +62,13 @@ struct QueryOptions {
   /// paths fall back on their own when recording is bypassed (trace
   /// budget exceeded).
   bool skeleton_replay = true;
+
+  /// Lifecycle controls (DESIGN.md Sec. 10). All default to inactive;
+  /// when none is set the engine runs the zero-overhead path. The
+  /// token is non-owning and must outlive the (synchronous) call.
+  const CancellationToken* cancel_token = nullptr;
+  QueryDeadline deadline;
+  WorkBudget budget;
 };
 
 /// A delta x phi evaluation grid for QueryEngine::RunSweep — the shape

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "util/logging.h"
 
@@ -24,19 +25,26 @@ EpochLog::EpochLog(const InteractionGraph& seed)
   snapshot_ = std::move(graph);
 }
 
-void EpochLog::Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
-  FLOWMOTIF_CHECK_GE(src, 0);
-  FLOWMOTIF_CHECK_GE(dst, 0);
-  FLOWMOTIF_CHECK_GT(f, 0.0) << "flows must be positive";
-  if (!empty_) {
-    FLOWMOTIF_CHECK_GE(t, watermark_)
-        << "stream timestamps must be non-decreasing";
+Status EpochLog::Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
+  // Validate everything before mutating anything: a rejected edge must
+  // leave the tail (and the watermark) exactly as it found them.
+  if (src < 0 || dst < 0) {
+    return Status::InvalidArgument("vertex ids must be non-negative");
+  }
+  if (!(f > 0.0)) {
+    return Status::InvalidArgument("flows must be positive");
+  }
+  if (!empty_ && t < watermark_) {
+    return Status::InvalidArgument(
+        "stream timestamps must be non-decreasing: t=" + std::to_string(t) +
+        " < watermark=" + std::to_string(watermark_));
   }
   watermark_ = std::max(watermark_, t);
   empty_ = false;
   num_vertices_ =
       std::max(num_vertices_, static_cast<int64_t>(std::max(src, dst)) + 1);
   tail_.push_back(InteractionGraph::Edge{src, dst, t, f});
+  return Status::OK();
 }
 
 EpochLog::SealInfo EpochLog::SealEpoch() {

@@ -10,6 +10,7 @@
 #include "graph/interaction_graph.h"
 #include "graph/time_series_graph.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace flowmotif {
 
@@ -68,10 +69,14 @@ class EpochLog {
   explicit EpochLog(const InteractionGraph& seed);
 
   /// Buffers one edge in the mutable tail. Vertices grow on demand.
-  /// CHECK-fails if `t` precedes a timestamp already in the log.
-  void Append(VertexId src, VertexId dst, Timestamp t, Flow f);
-  void Append(const InteractionGraph::Edge& edge) {
-    Append(edge.src, edge.dst, edge.t, edge.f);
+  /// Ingest is an untrusted boundary, so bad edges are rejected with
+  /// InvalidArgument — negative vertex ids, non-positive flow, or a
+  /// timestamp that precedes one already in the log (the stream
+  /// contract is monotone time) — and the tail is left unchanged: the
+  /// log stays valid and later well-formed appends still succeed.
+  Status Append(VertexId src, VertexId dst, Timestamp t, Flow f);
+  Status Append(const InteractionGraph::Edge& edge) {
+    return Append(edge.src, edge.dst, edge.t, edge.f);
   }
 
   /// Folds the tail into a new immutable snapshot and publishes it.

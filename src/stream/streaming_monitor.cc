@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "core/structural_match.h"
+#include "util/cancellation.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace flowmotif {
@@ -187,15 +189,27 @@ void StreamingMotifMonitor::RefreshMatchesPath(const TimeSeriesGraph& graph,
 }
 
 StreamingMotifMonitor::EpochStats StreamingMotifMonitor::SealEpoch() {
+  // A control exists only when a failpoint is armed; the normal path
+  // hands a nullptr through and pays nothing per revisit.
+  const std::unique_ptr<QueryControl> control =
+      MakeQueryControl(nullptr, QueryDeadline(), WorkBudget());
+  return SealEpoch(control.get());
+}
+
+StreamingMotifMonitor::EpochStats StreamingMotifMonitor::SealEpoch(
+    QueryControl* control) {
   const EpochLog::SealInfo info = log_.SealEpoch();
   EpochStats stats;
   stats.epoch = info.epoch;
   stats.num_appended = info.num_appended;
-  if (info.num_appended == 0) {
+  if (info.num_appended == 0 && pending_revisit_.empty()) {
     stats.num_matches_total = matches_.size();
+    if (control != nullptr) stats.termination = control->Finish(0);
     return stats;
   }
-  snapshot_ = info.graph;
+  // An empty-tail seal with a non-empty deferred queue proceeds
+  // revisit-only against the unchanged snapshot.
+  if (info.num_appended > 0) snapshot_ = info.graph;
   const TimeSeriesGraph& graph = *snapshot_;
   const Timestamp settle_before = info.watermark;
 
@@ -212,9 +226,10 @@ StreamingMotifMonitor::EpochStats StreamingMotifMonitor::SealEpoch() {
   stats.num_matches_total = matches_.size();
 
   // The revisit set: matches bound to a dirty pair, matches whose
-  // earliest hot window just settled, and brand-new matches. Everything
-  // else is provably unchanged — its series are untouched and its hot
-  // windows (if any) still end at or past the new watermark.
+  // earliest hot window just settled, brand-new matches, and revisits a
+  // stopped earlier seal deferred. Everything else is provably
+  // unchanged — its series are untouched and its hot windows (if any)
+  // still end at or past the new watermark.
   std::vector<char> marked(matches_.size(), 0);
   std::vector<size_t> revisit;
   const auto mark = [&](size_t id) {
@@ -233,19 +248,37 @@ StreamingMotifMonitor::EpochStats StreamingMotifMonitor::SealEpoch() {
     mark(it->second);
   }
   for (const size_t id : new_ids) mark(id);
+  for (const size_t id : pending_revisit_) mark(id);
+  pending_revisit_.clear();
   std::sort(revisit.begin(), revisit.end(), [&](size_t a, size_t b) {
     return canonical_pos_[a] < canonical_pos_[b];
   });
-  stats.num_matches_revisited = revisit.size();
 
   EnumerationOptions eopts;
   eopts.delta = options_.delta;
   eopts.phi = options_.phi;
   const FlowMotifEnumerator enumerator(graph, motif_, eopts);
   std::vector<Timestamp> new_ends;
-  for (const size_t id : revisit) {
-    RevisitMatch(id, enumerator, settle_before, info.epoch, &stats,
+  size_t applied = 0;
+  for (size_t i = 0; i < revisit.size(); ++i) {
+    if (control != nullptr && control->CheckAt(failpoint::kStreamRevisit)) {
+      // Each RevisitMatch already applied is final; defer the rest to
+      // the next seal. A revisit is idempotent against an unchanged
+      // snapshot, so re-running a deferred id later is safe even if it
+      // meanwhile re-enters the set through a dirty pair.
+      pending_revisit_.assign(revisit.begin() + static_cast<long>(i),
+                              revisit.end());
+      stats.num_revisits_deferred =
+          static_cast<int64_t>(revisit.size() - i);
+      break;
+    }
+    RevisitMatch(revisit[i], enumerator, settle_before, info.epoch, &stats,
                  &new_ends);
+    ++applied;
+  }
+  stats.num_matches_revisited = applied;
+  if (control != nullptr) {
+    stats.termination = control->Finish(static_cast<int64_t>(applied));
   }
 
   if (options_.horizon > 0) {

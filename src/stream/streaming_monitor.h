@@ -19,6 +19,8 @@
 #include "graph/interaction_graph.h"
 #include "graph/time_series_graph.h"
 #include "graph/types.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace flowmotif {
 
@@ -97,6 +99,15 @@ class StreamingMotifMonitor {
     /// True when a topology change forced a full P1 re-run (general
     /// motifs); path motifs rescan only affected origin units.
     bool full_rescan = false;
+    /// Lifecycle outcome of the seal (DESIGN.md Sec. 10). When not
+    /// complete(), the seal stopped mid-revisit: the revisits already
+    /// applied are final (RevisitMatch is per-match atomic) and the
+    /// deferred ones are queued for the next seal, so aggregates lag
+    /// the snapshot only on the deferred matches and catch up exactly
+    /// once a later seal drains the queue.
+    Termination termination;
+    /// Revisits deferred to the next seal by a mid-seal stop.
+    int64_t num_revisits_deferred = 0;
   };
 
   /// A monitor over an initially empty stream.
@@ -111,16 +122,32 @@ class StreamingMotifMonitor {
     alert_callback_ = std::move(callback);
   }
 
-  /// Buffers one edge; timestamps must be non-decreasing across the
-  /// stream (CHECKed by the underlying EpochLog).
-  void Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
-    log_.Append(src, dst, t, f);
+  /// Buffers one edge. Ingest is an untrusted boundary: a malformed
+  /// edge (negative ids, non-positive flow, or a timestamp violating
+  /// the stream's monotone-time contract) is rejected with
+  /// InvalidArgument and the monitor is unchanged — later well-formed
+  /// appends still succeed.
+  Status Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
+    return log_.Append(src, dst, t, f);
   }
-  void Append(const InteractionGraph::Edge& edge) { log_.Append(edge); }
+  Status Append(const InteractionGraph::Edge& edge) {
+    return log_.Append(edge);
+  }
 
   /// Seals the buffered edges into a new epoch and brings every live
-  /// aggregate up to date with the new snapshot.
+  /// aggregate up to date with the new snapshot. Arms a QueryControl
+  /// only when a failpoint is armed (MakeQueryControl), so the normal
+  /// path is unchanged.
   EpochStats SealEpoch();
+
+  /// SealEpoch under an optional lifecycle control (may be null).
+  /// Checked once per match revisit (site "stream.revisit"); on stop
+  /// the remaining revisits are deferred — queued and merged into the
+  /// next seal's revisit set (an empty-tail seal with a non-empty
+  /// queue still runs, revisit-only). Each applied revisit is atomic,
+  /// so a truncated seal followed by a clean drain leaves state
+  /// byte-identical to a never-truncated run.
+  EpochStats SealEpoch(QueryControl* control);
 
   /// Cumulative number of phi-passing instances on the current snapshot
   /// — equals a batch kCount run on the equivalently built static graph.
@@ -227,6 +254,11 @@ class StreamingMotifMonitor {
 
   std::vector<Window> settled_windows_scratch_;
   EnumerationResult enum_stats_;  // cumulative enumeration counters
+
+  /// Match ids whose revisit a stopped seal deferred; drained (merged
+  /// into the revisit set) by the next seal. Ids stay valid across
+  /// seals because matches_ is append-only.
+  std::vector<size_t> pending_revisit_;
 };
 
 }  // namespace flowmotif

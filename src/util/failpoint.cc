@@ -1,0 +1,170 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/cancellation.h"
+
+namespace flowmotif {
+namespace failpoint {
+
+namespace {
+
+struct SiteState {
+  bool armed = false;
+  Config config;
+  int64_t hits = 0;    // evaluations since last Arm
+  bool fired = false;  // one-shot actions fire at most once per arming
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Armed-site count for the per-check fast path.
+std::atomic<int> g_num_armed{0};
+
+void TriggerOnce(const char* site, Action action, QueryControl* control) {
+  switch (action) {
+    case Action::kCancel:
+      control->RequestStop(TerminationCode::kCancelled, site, Status::OK(),
+                           "injected");
+      return;
+    case Action::kDeadline:
+      control->RequestStop(TerminationCode::kDeadlineExceeded, site,
+                           Status::OK(), "injected");
+      return;
+    case Action::kBudget:
+      control->RequestStop(TerminationCode::kBudgetExceeded, site,
+                           Status::OK(), "injected");
+      return;
+    case Action::kError:
+      control->RequestStop(
+          TerminationCode::kError, site,
+          Status::Internal(std::string("injected error at ") + site),
+          "injected");
+      return;
+    case Action::kSleep:
+      return;  // handled by the caller (outside the registry lock)
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      kEngineStart, kP1Unit,      kP2Batch,   kDpMatch,       kSigTask,
+      kSweepRecord, kSweepCell,   kStreamRevisit, kCacheWindows,
+  };
+  return *sites;
+}
+
+void Arm(const std::string& site, const Config& config) {
+  bool known = false;
+  for (const std::string& s : AllSites()) {
+    if (s == site) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) return;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteState& state = registry.sites[site];
+  if (!state.armed) g_num_armed.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.config = config;
+  state.hits = 0;
+  state.fired = false;
+}
+
+void Disarm(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_num_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [site, state] : registry.sites) {
+    if (state.armed) {
+      state.armed = false;
+      g_num_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool AnyArmed() {
+  return g_num_armed.load(std::memory_order_relaxed) != 0;
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+void Evaluate(const char* site, QueryControl* control) {
+  if (!AnyArmed()) return;
+  Action action = Action::kSleep;
+  int64_t sleep_micros = 0;
+  bool fire = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end() || !it->second.armed) return;
+    SiteState& state = it->second;
+    ++state.hits;
+    action = state.config.action;
+    sleep_micros = state.config.sleep_micros;
+    const int64_t period = state.config.hits_before_trigger + 1;
+    if (action == Action::kSleep) {
+      fire = (state.hits % period) == 0;
+    } else if (!state.fired && state.hits == period) {
+      state.fired = true;
+      fire = true;
+    }
+  }
+  if (!fire) return;
+  if (action == Action::kSleep) {
+    // Sleep outside the registry lock so latency injection perturbs
+    // only the checking worker, not every concurrent check.
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    return;
+  }
+  TriggerOnce(site, action, control);
+}
+
+void MaybeArmFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* value = std::getenv("FLOWMOTIF_FAILPOINT_SLEEP_US");
+    if (value == nullptr || *value == '\0') return;
+    const long micros = std::strtol(value, nullptr, 10);
+    if (micros <= 0) return;
+    Config config;
+    config.action = Action::kSleep;
+    config.sleep_micros = micros;
+    config.hits_before_trigger = 63;  // every 64th evaluation
+    for (const std::string& site : AllSites()) Arm(site, config);
+  });
+}
+
+}  // namespace failpoint
+}  // namespace flowmotif

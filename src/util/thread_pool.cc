@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <utility>
 
@@ -37,7 +38,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -45,9 +46,33 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    RecordError(e.what());
+  } catch (...) {
+    RecordError("unknown exception");
+  }
+}
+
+void ThreadPool::RecordError(const std::string& message) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) {
+    first_error_ = Status::Internal("task threw: " + message);
+  }
+}
+
+Status ThreadPool::TakeFirstError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  Status status = std::move(first_error_);
+  first_error_ = Status::OK();
+  return status;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (num_threads_ == 1) {
-    task();
+    RunTask(task);
     return;
   }
   {
@@ -60,7 +85,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::SubmitFront(std::function<void()> task) {
   if (num_threads_ == 1) {
-    task();
+    RunTask(task);
     return;
   }
   {
@@ -81,7 +106,17 @@ void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
   if (num_threads_ == 1 || n == 1) {
-    for (int64_t i = 0; i < n; ++i) body(i);
+    for (int64_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (const std::exception& e) {
+        RecordError(e.what());
+        return;
+      } catch (...) {
+        RecordError("unknown exception");
+        return;
+      }
+    }
     return;
   }
   // One task per worker pulling indices from a shared cursor: cheap
@@ -90,10 +125,20 @@ void ThreadPool::ParallelFor(int64_t n,
   const int64_t num_tasks =
       std::min<int64_t>(n, static_cast<int64_t>(num_threads_));
   for (int64_t t = 0; t < num_tasks; ++t) {
-    Submit([cursor, n, &body] {
+    Submit([this, cursor, n, &body] {
       for (int64_t i = cursor->fetch_add(1); i < n;
            i = cursor->fetch_add(1)) {
-        body(i);
+        try {
+          body(i);
+        } catch (const std::exception& e) {
+          RecordError(e.what());
+          cursor->store(n);  // drain: skip the remaining indices
+          return;
+        } catch (...) {
+          RecordError("unknown exception");
+          cursor->store(n);
+          return;
+        }
       }
     });
   }

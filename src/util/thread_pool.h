@@ -9,12 +9,16 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace flowmotif {
 
 /// A fixed-size worker pool for the engine's match-parallel execution
-/// path. Tasks must not throw: the codebase reports errors through
-/// Status / FLOWMOTIF_CHECK, and an exception escaping a worker would
-/// terminate the process.
+/// path. The codebase reports errors through Status, but a task that
+/// does throw is caught at the task boundary instead of terminating
+/// the process: the first exception is recorded as an Internal Status
+/// (readable via TakeFirstError()), later tasks still run, and the
+/// pool stays serviceable for subsequent queries.
 ///
 /// With num_threads == 1 no worker threads are spawned at all and every
 /// task runs inline on the submitting thread, so the serial path has
@@ -51,9 +55,17 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, n), distributing indices to workers
   /// through a shared cursor (dynamic load balancing), and blocks until
   /// all iterations are done. With num_threads == 1 this is a plain
-  /// loop. Concurrent ParallelFor calls on the same pool are not
-  /// supported (Wait() would observe each other's tasks).
+  /// loop. If an iteration throws, the remaining indices are skipped
+  /// (the cursor is driven to n) and the error lands in
+  /// TakeFirstError(). Concurrent ParallelFor calls on the same pool
+  /// are not supported (Wait() would observe each other's tasks).
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  /// Returns the first error caught at a task boundary since the last
+  /// call and clears it (OK when no task failed). The submitting query
+  /// calls this after Wait() to surface worker failures through its own
+  /// Status instead of crashing the process.
+  Status TakeFirstError();
 
   /// std::thread::hardware_concurrency() with a floor of 1; the meaning
   /// of `num_threads = 0` in engine options.
@@ -61,6 +73,12 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  /// Runs `task` with the catch-at-boundary contract.
+  void RunTask(const std::function<void()>& task);
+
+  /// Records `message` as the first error if none is set. Thread-safe.
+  void RecordError(const std::string& message);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -70,6 +88,9 @@ class ThreadPool {
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;  // queued + currently running tasks
   bool shutdown_ = false;
+
+  std::mutex error_mu_;
+  Status first_error_;  // first task-boundary error since TakeFirstError
 };
 
 }  // namespace flowmotif

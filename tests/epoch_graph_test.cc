@@ -114,8 +114,22 @@ TEST(EpochGraphTest, SealedEpochsMatchBatchPrefixBuilds) {
   ASSERT_EQ(noop.epoch, log.epoch());
   ASSERT_EQ(log.Snapshot().get(), before.get());
 
-  // Non-monotone appends violate the stream contract.
-  EXPECT_DEATH(log.Append(0, 1, 0, 1.0), "");
+  // Ingest is an untrusted boundary: a non-monotone timestamp, a
+  // negative vertex id, or a non-positive flow is rejected with
+  // InvalidArgument, the tail stays unchanged, and later well-formed
+  // appends (and seals) still succeed.
+  const Timestamp watermark_before = log.watermark();
+  EXPECT_EQ(log.Append(0, 1, 0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Append(-1, 1, 20, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Append(0, -2, 20, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Append(0, 1, 20, 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Append(0, 1, 20, -1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.tail_size(), 0u);
+  EXPECT_EQ(log.watermark(), watermark_before);
+  ASSERT_TRUE(log.Append(0, 1, 20, 1.0).ok());
+  const EpochLog::SealInfo after = log.SealEpoch();
+  EXPECT_EQ(after.num_appended, 1u);
+  EXPECT_EQ(after.watermark, 20);
 }
 
 TEST(EpochGraphTest, TimeSlicesCutExactlyAtEpochBoundaries) {

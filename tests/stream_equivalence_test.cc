@@ -326,5 +326,48 @@ TEST(StreamEquivalenceTest, AlertsFireExactlyOnceAtSettlement) {
   }
 }
 
+TEST(StreamEquivalenceTest, MalformedAppendIsRejectedAndStateUnchanged) {
+  // Ingest is an untrusted boundary: malformed edges come back as
+  // InvalidArgument and leave the monitor exactly as it was — the next
+  // seal, and every aggregate, behaves as if they were never offered.
+  StreamOptions sopts;
+  sopts.delta = 10;
+  sopts.k = 3;
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  StreamingMotifMonitor monitor(motif, sopts);
+
+  ASSERT_TRUE(monitor.Append(0, 1, 5, 2.0).ok());
+  ASSERT_TRUE(monitor.Append(1, 2, 7, 3.0).ok());
+  monitor.SealEpoch();
+  const int64_t total_before = monitor.TotalInstances();
+  const Timestamp watermark_before = monitor.watermark();
+
+  // Timestamp behind the watermark, negative ids, non-positive flow.
+  EXPECT_EQ(monitor.Append(0, 1, 3, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(monitor.Append(-1, 2, 9, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(monitor.Append(0, -2, 9, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(monitor.Append(0, 1, 9, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(monitor.Append(InteractionGraph::Edge{0, 1, 9, -4.0}).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(monitor.watermark(), watermark_before);
+  const StreamingMotifMonitor::EpochStats stats = monitor.SealEpoch();
+  EXPECT_EQ(stats.num_appended, 0u);
+  EXPECT_EQ(monitor.TotalInstances(), total_before);
+
+  // Well-formed appends still succeed after rejections, and the stream
+  // stays batch-equivalent.
+  ASSERT_TRUE(monitor.Append(0, 1, 9, 1.0).ok());
+  ASSERT_TRUE(monitor.Append(1, 2, 14, 2.0).ok());
+  monitor.SealEpoch();
+  const std::vector<InteractionGraph::Edge> prefix = {
+      {0, 1, 5, 2.0}, {1, 2, 7, 3.0}, {0, 1, 9, 1.0}, {1, 2, 14, 2.0}};
+  ExpectEpochMatchesBatch(monitor, motif, prefix, "after rejections");
+}
+
 }  // namespace
 }  // namespace flowmotif

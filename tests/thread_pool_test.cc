@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace flowmotif {
 namespace {
@@ -101,6 +105,61 @@ TEST(ThreadPoolTest, ReusableAcrossRounds) {
 
 TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
   EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+TEST(ThreadPoolTest, TaskExceptionIsCaughtAndSurfacedOnce) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    pool.Submit([] { throw std::runtime_error("first failure"); });
+    pool.Submit([&ran] { ran.fetch_add(1); });
+    pool.Submit([] { throw std::logic_error("second failure"); });
+    pool.Wait();
+    // Later tasks still ran: the throw is contained at the task boundary.
+    EXPECT_EQ(ran.load(), 1) << "threads " << threads;
+
+    const Status err = pool.TakeFirstError();
+    EXPECT_EQ(err.code(), StatusCode::kInternal) << "threads " << threads;
+    EXPECT_NE(err.message().find("failure"), std::string::npos);
+    // Take clears: a second read is OK.
+    EXPECT_TRUE(pool.TakeFirstError().ok());
+
+    // The pool stays serviceable for a clean follow-up round.
+    pool.Submit([&ran] { ran.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_TRUE(pool.TakeFirstError().ok());
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDrainsAfterThrow) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    // The throwing iteration drives the cursor to n, so ParallelFor
+    // returns without running every index — but it must return, and the
+    // error must land in TakeFirstError().
+    pool.ParallelFor(1000, [&ran](int64_t i) {
+      if (i == 3) throw std::runtime_error("iteration failed");
+      ran.fetch_add(1);
+    });
+    EXPECT_EQ(pool.TakeFirstError().code(), StatusCode::kInternal)
+        << "threads " << threads;
+    EXPECT_LT(ran.load(), 1000);
+
+    // Serviceable afterwards: a clean ParallelFor covers everything.
+    std::atomic<int> clean{0};
+    pool.ParallelFor(100, [&clean](int64_t) { clean.fetch_add(1); });
+    EXPECT_EQ(clean.load(), 100);
+    EXPECT_TRUE(pool.TakeFirstError().ok());
+  }
+}
+
+TEST(ThreadPoolTest, NonExceptionThrowIsRecorded) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });  // not derived from std::exception
+  pool.Wait();
+  EXPECT_EQ(pool.TakeFirstError().code(), StatusCode::kInternal);
 }
 
 }  // namespace

@@ -4,6 +4,21 @@
 Usage:
     check_perf_regression.py --baseline BENCH_baseline.json \
         --current bench_dp_window.json [--max-regression 0.25]
+    check_perf_regression.py --current bench_micro.json \
+        --overhead-pair BM_DpMatchLoop_Control:BM_DpMatchLoop_NoControl:0.01
+
+Two independent gates share the loader:
+
+  * The BASELINE gate (--baseline) compares each current row against the
+    committed history, allowing --max-regression fractional slowdown.
+  * The OVERHEAD-PAIR gate (--overhead-pair WITH:WITHOUT:MAX, repeatable)
+    compares two rows of the SAME current JSON — e.g. a hot loop with an
+    active QueryControl vs the null-control path — and fails when
+    with > without * (1 + MAX). Because both sides come from one run on
+    one machine, the threshold can be far tighter (1%) than the
+    cross-machine baseline gate's 25%. Either side missing from the
+    current JSON fails the gate: a silently absent row would turn the
+    check into a no-op.
 
 Compares `real_time` per FULL benchmark name — including aggregate
 suffixes such as `_mean`/`_median` produced by --benchmark_repetitions —
@@ -95,16 +110,74 @@ def format_ns(ns):
     return f"{ns:.0f}ns"
 
 
+def parse_overhead_pair(spec):
+    """Parses "WITH:WITHOUT:MAXFRAC" into its three components."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--overhead-pair expects WITH:WITHOUT:MAXFRAC, got {spec!r}")
+    try:
+        max_frac = float(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--overhead-pair max fraction not a number: {parts[2]!r}")
+    return parts[0], parts[1], max_frac
+
+
+def check_overhead_pairs(current, pairs):
+    """Returns the number of failed same-run overhead pairs (prints all)."""
+    failures = 0
+    for with_name, without_name, max_frac in pairs:
+        with_ns = current.get(with_name)
+        without_ns = current.get(without_name)
+        if with_ns is None or without_ns is None:
+            missing = [n for n, v in ((with_name, with_ns),
+                                      (without_name, without_ns))
+                       if v is None]
+            print(f"OVERHEAD MISSING  {' and '.join(missing)} "
+                  "not in the current JSON")
+            failures += 1
+            continue
+        overhead = with_ns / without_ns - 1.0 if without_ns > 0 \
+            else float("inf")
+        status = "OK" if overhead <= max_frac else "EXCEEDED"
+        print(f"OVERHEAD {status:9s} {with_name} vs {without_name}: "
+              f"{format_ns(without_ns)} -> {format_ns(with_ns)} "
+              f"({overhead:+.2%}, allowed {max_frac:.2%})")
+        if status != "OK":
+            failures += 1
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline")
     parser.add_argument("--current", required=True)
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="fractional slowdown allowed (default 0.25)")
+    parser.add_argument("--overhead-pair", type=parse_overhead_pair,
+                        action="append", default=[],
+                        metavar="WITH:WITHOUT:MAXFRAC",
+                        help="same-run pair gate: fail when the WITH row is "
+                             "more than MAXFRAC slower than WITHOUT")
     args = parser.parse_args()
+    if args.baseline is None and not args.overhead_pair:
+        parser.error("nothing to check: pass --baseline and/or "
+                     "--overhead-pair")
+
+    current = load_benchmarks(args.current)
+
+    pair_failures = check_overhead_pairs(current, args.overhead_pair)
+    if args.overhead_pair:
+        print()
+    if args.baseline is None:
+        if pair_failures:
+            print(f"{pair_failures} overhead pair(s) failed")
+            return 1
+        print("all overhead pairs within bounds")
+        return 0
 
     baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
 
     rows = []  # (status, name, baseline text, current text, ratio text)
     regressions = []
@@ -142,6 +215,9 @@ def main():
         for name, base, cur, ratio in regressions:
             print(f"  {name}: {format_ns(base)} -> {format_ns(cur)} "
                   f"({ratio:.2f}x)")
+        return 1
+    if pair_failures:
+        print(f"\n{pair_failures} overhead pair(s) failed")
         return 1
     print("\nno regressions past threshold")
     return 0
