@@ -1,0 +1,187 @@
+// Serving-layer benchmarks (DESIGN.md Sec. 11): QueryService end-to-end
+// rows for CI's perf gate plus the tier ablation the layer exists for.
+//  * BM_ServeRepeatedCount_TierOn vs _TierOff — the same kCount query
+//    submitted repeatedly through a 1-worker (inline, deterministic)
+//    service with the cross-query window-cache tier enabled vs
+//    disabled. The motif is non-interior, so without the tier every
+//    run recomputes every window list privately; with the tier the
+//    steady state is all hits. TierOn beating TierOff is the point of
+//    the tier — the pair makes the win a gated number, not a claim.
+//  * BM_DirectEngineCount — the same query through a bare
+//    QueryEngine::Run, the floor the serving rows sit on; the gap to
+//    TierOff is the service round-trip overhead (admission, future,
+//    stats).
+//  * BM_ServeMixedConcurrent — a batch of distinct queries per
+//    iteration through a 4-worker service: the QPS row. Latency
+//    percentiles ride along as counters (p50_ms / p99_ms) computed
+//    from each submission's ServedResult.total_seconds; tier_hit_rate
+//    reports the cross-query tier's steady-state effectiveness.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "core/motif_catalog.h"
+#include "engine/query_engine.h"
+#include "engine/query_options.h"
+#include "gen/presets.h"
+#include "graph/time_series_graph.h"
+#include "serve/query_service.h"
+
+namespace flowmotif {
+namespace {
+
+const TimeSeriesGraph& ServingGraph() {
+  static const TimeSeriesGraph* const kGraph = new TimeSeriesGraph(
+      GenerateDataset(GetPreset(DatasetKind::kPassenger), 0.25));
+  return *kGraph;
+}
+
+constexpr Timestamp kDelta = 900;
+
+QueryOptions CountOptions() {
+  QueryOptions options;
+  options.mode = QueryMode::kCount;
+  options.delta = kDelta;
+  options.phi = 2.0;
+  return options;
+}
+
+ServeRequest MakeRequest(const Motif& motif, const QueryOptions& options) {
+  return ServeRequest{motif, options, std::string(), nullptr};
+}
+
+/// Sorts `latencies` and attaches p50/p99 (milliseconds) to the row.
+void ReportLatencyCounters(benchmark::State& state,
+                           std::vector<double>* latencies) {
+  if (latencies->empty()) return;
+  std::sort(latencies->begin(), latencies->end());
+  const auto at = [&](double pct) {
+    const size_t index = static_cast<size_t>(
+        pct * static_cast<double>(latencies->size() - 1) + 0.5);
+    return (*latencies)[index] * 1e3;
+  };
+  state.counters["p50_ms"] = at(0.50);
+  state.counters["p99_ms"] = at(0.99);
+}
+
+void ReportTierHitRate(benchmark::State& state, const QueryService& service) {
+  const ServiceStats stats = service.Stats();
+  state.counters["tier_hit_rate"] =
+      stats.tier_lookups > 0 ? static_cast<double>(stats.tier_hits) /
+                                   static_cast<double>(stats.tier_lookups)
+                             : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Tier ablation: identical repeated query, tier on vs off. One worker
+// means Submit runs the query inline on this thread — no scheduling
+// noise, so the pair difference is the window-list recompute the tier
+// removes. Dedup is off so every submission really executes. One
+// untimed warm-up submission moves the tier's one-time fill out of the
+// measured steady state.
+
+void RunRepeatedCount(benchmark::State& state, bool tier_on) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.enable_cache_tier = tier_on;
+  config.enable_dedup = false;
+  QueryService service(ServingGraph(), config);
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+
+  service.Submit(MakeRequest(motif, CountOptions())).get();  // warm-up
+
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    const ServedResult served =
+        service.Submit(MakeRequest(motif, CountOptions())).get();
+    benchmark::DoNotOptimize(served.result->stats.num_instances);
+    latencies.push_back(served.total_seconds);
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportLatencyCounters(state, &latencies);
+  ReportTierHitRate(state, service);
+}
+
+void BM_ServeRepeatedCount_TierOn(benchmark::State& state) {
+  RunRepeatedCount(state, /*tier_on=*/true);
+}
+BENCHMARK(BM_ServeRepeatedCount_TierOn);
+
+void BM_ServeRepeatedCount_TierOff(benchmark::State& state) {
+  RunRepeatedCount(state, /*tier_on=*/false);
+}
+BENCHMARK(BM_ServeRepeatedCount_TierOff);
+
+// The floor: the same query through a bare engine, no service.
+void BM_DirectEngineCount(benchmark::State& state) {
+  const QueryEngine engine(ServingGraph());
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  const QueryOptions options = CountOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(motif, options).stats.num_instances);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectEngineCount);
+
+// ---------------------------------------------------------------------
+// Concurrent mixed workload: per iteration, a batch of distinct
+// queries (two motifs x two deltas x two modes) fans out over four
+// workers and the iteration completes when the whole batch has. The
+// row's items/s is the service's QPS on this workload; p50/p99 are
+// per-query submit-to-completion latencies.
+
+void BM_ServeMixedConcurrent(benchmark::State& state) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.enable_dedup = false;  // every submission is a real run
+  QueryService service(ServingGraph(), config);
+
+  struct Case {
+    const char* motif_name;
+    QueryMode mode;
+    Timestamp delta;
+  };
+  const std::vector<Case> cases = {
+      {"M(3,2)", QueryMode::kCount, kDelta},
+      {"M(3,2)", QueryMode::kTop1, kDelta},
+      {"M(3,2)", QueryMode::kCount, kDelta / 2},
+      {"M(5,4)", QueryMode::kCount, kDelta},
+      {"M(5,4)", QueryMode::kTop1, kDelta},
+      {"M(5,4)", QueryMode::kCount, kDelta / 2},
+      {"M(3,3)", QueryMode::kCount, kDelta},
+      {"M(3,3)", QueryMode::kTop1, kDelta},
+  };
+
+  std::vector<double> latencies;
+  std::vector<std::future<ServedResult>> futures;
+  futures.reserve(cases.size());
+  for (auto _ : state) {
+    for (const Case& c : cases) {
+      QueryOptions options = CountOptions();
+      options.mode = c.mode;
+      options.delta = c.delta;
+      futures.push_back(service.Submit(
+          MakeRequest(*MotifCatalog::ByName(c.motif_name), options)));
+    }
+    for (std::future<ServedResult>& future : futures) {
+      const ServedResult served = future.get();
+      benchmark::DoNotOptimize(served.result->termination.code);
+      latencies.push_back(served.total_seconds);
+    }
+    futures.clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cases.size()));
+  ReportLatencyCounters(state, &latencies);
+  ReportTierHitRate(state, service);
+}
+BENCHMARK(BM_ServeMixedConcurrent)->UseRealTime();
+
+}  // namespace
+}  // namespace flowmotif
+
+BENCHMARK_MAIN();

@@ -98,7 +98,8 @@ int64_t InstanceCounter::CountMatch(const MatchBinding& binding,
   WindowListMru local_mru;
   const std::vector<Window>& windows =
       (window_mru != nullptr ? window_mru : &local_mru)
-          ->GetOrCompute(cache_, *series.front(), *series.back(), delta_);
+          ->GetOrCompute(cache_, *series.front(), *series.back(), delta_,
+                         query_control_);
   if (result != nullptr) {
     result->num_windows += static_cast<int64_t>(windows.size());
   }

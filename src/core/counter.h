@@ -71,6 +71,14 @@ class InstanceCounter {
   int64_t CountMatch(const MatchBinding& binding, Result* result,
                      WindowListMru* window_mru = nullptr) const;
 
+  /// Attaches the owning query's lifecycle control (non-owning, may be
+  /// null): every window list CountMatch materializes — through the
+  /// cache or recomputed into the MRU — is billed against its
+  /// WorkBudget at site "cache.windows". QueryControl is internally
+  /// synchronized, so one counter shared across workers charges safely.
+  /// Set before sharing the counter; must outlive every CountMatch.
+  void set_query_control(QueryControl* control) { query_control_ = control; }
+
  private:
   const TimeSeriesGraph& graph_;
   const Motif motif_;
@@ -80,6 +88,7 @@ class InstanceCounter {
   // interior node (the only shape where a pair repeats).
   std::unique_ptr<SharedWindowCache> owned_cache_;
   SharedWindowCache* cache_;  // null = compute windows per match
+  QueryControl* query_control_ = nullptr;  // budget charging; may be null
 };
 
 }  // namespace flowmotif

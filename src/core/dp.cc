@@ -41,7 +41,8 @@ const std::vector<Window>& MaxFlowDpSearcher::BeginMatch(
   scratch->cursors.Reset(series);
 
   return scratch->window_mru.GetOrCompute(cache_, *series.front(),
-                                          *series.back(), delta_);
+                                          *series.back(), delta_,
+                                          query_control_);
 }
 
 Flow MaxFlowDpSearcher::DpOverWindow(const MatchBinding& binding,

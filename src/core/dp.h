@@ -155,6 +155,14 @@ class MaxFlowDpSearcher {
   /// null when memoization is gated off. Exposed for tests.
   const SharedWindowCache* window_cache() const { return cache_; }
 
+  /// Attaches the owning query's lifecycle control (non-owning, may be
+  /// null): every window list BeginMatch materializes — through the
+  /// cache or recomputed into the scratch MRU — is billed against its
+  /// WorkBudget at site "cache.windows". QueryControl is internally
+  /// synchronized, so one searcher shared across workers charges
+  /// safely. Set before sharing; must outlive every run.
+  void set_query_control(QueryControl* control) { query_control_ = control; }
+
  private:
   /// Runs the DP for one window of one match, using the cursors and
   /// buffers in `scratch` (BeginMatch must have run for this match);
@@ -182,6 +190,7 @@ class MaxFlowDpSearcher {
   // const methods above may insert through it.
   std::unique_ptr<SharedWindowCache> owned_cache_;
   SharedWindowCache* cache_;  // null = compute windows per match
+  QueryControl* query_control_ = nullptr;  // budget charging; may be null
 };
 
 }  // namespace flowmotif

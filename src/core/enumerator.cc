@@ -180,11 +180,13 @@ bool FlowMotifEnumerator::EnumerateMatch(const MatchBinding& binding,
   std::vector<Window> local_windows;
   const std::vector<Window>* windows = nullptr;
   if (cache_ != nullptr) {
-    windows = cache_->Get(*ctx.series.front(), *ctx.series.back());
+    windows = cache_->Get(*ctx.series.front(), *ctx.series.back(),
+                          options_.query_control);
   }
   if (windows == nullptr) {
     ComputeProcessedWindows(*ctx.series.front(), *ctx.series.back(),
                             options_.delta, &local_windows);
+    ChargeComputedWindows(options_.query_control, local_windows.size(), 0);
     windows = &local_windows;
   }
 

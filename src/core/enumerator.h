@@ -59,6 +59,12 @@ struct EnumerationOptions {
   /// the motif has an interior node (the only shape where a
   /// (first, last) series pair repeats).
   SharedWindowCache* shared_window_cache = nullptr;
+
+  /// Lifecycle control (non-owning, may be null) billed for every
+  /// window list a match materializes — through the cache or computed
+  /// per match — at site "cache.windows", so WorkBudget's window and
+  /// memory caps hold for every motif shape, cache-eligible or not.
+  QueryControl* query_control = nullptr;
 };
 
 /// A contiguous run [begin, end) of one edge's interaction series — the
@@ -100,6 +106,14 @@ struct EnumerationResult {
   int64_t num_structural_matches = 0;
   int64_t num_windows_processed = 0;
   int64_t num_phi_prunes = 0;         // prefixes cut by the flow bound
+  /// kTopK only (0 elsewhere): emissions that survived the floating
+  /// threshold during the run, plus the phi/threshold prunes. This is
+  /// the one execution-dependent counter of the mode — how fast the
+  /// threshold tightened depends on batch layout and thread count — so
+  /// QueryEngine quarantines it here and keeps num_instances /
+  /// num_phi_prunes exact (the returned entries / 0). Comparable only
+  /// between identical execution configurations, like num_batches.
+  int64_t num_pruning_probes = 0;
   int64_t num_domination_skips = 0;   // prefixes cut as non-maximal
   int64_t num_strict_rejects = 0;     // strict-mode Def. 3.3 rejections
   int64_t num_redundant_instances = 0;  // only with ablation_no_window_skip
@@ -120,6 +134,7 @@ struct EnumerationResult {
     num_structural_matches += other.num_structural_matches;
     num_windows_processed += other.num_windows_processed;
     num_phi_prunes += other.num_phi_prunes;
+    num_pruning_probes += other.num_pruning_probes;
     num_domination_skips += other.num_domination_skips;
     num_strict_rejects += other.num_strict_rejects;
     num_redundant_instances += other.num_redundant_instances;

@@ -71,6 +71,7 @@ bool SignificanceAnalyzer::RecordSkeleton(const Motif& motif,
                                           EnumerationSkeleton* skeleton) const {
   EnumerationSkeleton::Options sk_options;
   sk_options.max_edges = options_.max_skeleton_edges;
+  sk_options.query_control = options_.control;
   if (options_.reuse_matches) {
     return skeleton->Record(graph_, motif, options_.delta, prepared.matches,
                             cache, sk_options);
@@ -96,7 +97,7 @@ int64_t SignificanceAnalyzer::ReplayEnsemble(
   if (options_.pool != nullptr) {
     std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
     options_.pool->ParallelFor(num_tasks, [&](int64_t task) {
-      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
+      if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) return;
       FlowPrefixArena arena;
       if (task == 0) {
         arena.FillFromGraph(graph_);
@@ -115,7 +116,7 @@ int64_t SignificanceAnalyzer::ReplayEnsemble(
   SkeletonReplayer replayer(&skeleton);
   int64_t completed = 0;
   for (int64_t task = 0; task < num_tasks; ++task) {
-    if (control != nullptr && control->CheckAt(failpoint::kSigTask)) break;
+    if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) break;
     if (task == 0) {
       arena.FillFromGraph(graph_);
     } else {
@@ -143,7 +144,7 @@ int64_t SignificanceAnalyzer::ReplayEnsembleStreaming(
     std::vector<Flow> flows;
     int64_t completed = 0;
     for (int64_t task = 0; task < num_tasks; ++task) {
-      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) break;
+      if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) break;
       if (task == 0) {
         arena.FillFromGraph(graph_);
       } else {
@@ -178,7 +179,7 @@ int64_t SignificanceAnalyzer::ReplayEnsembleStreaming(
     }
     options_.pool->ParallelFor(
         wave_limit - wave_first, [&](int64_t offset) {
-          if (control != nullptr && control->CheckAt(failpoint::kSigTask)) {
+          if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) {
             return;
           }
           const int64_t task = wave_first + offset;
@@ -208,6 +209,7 @@ SignificanceAnalyzer::PreparedMotif SignificanceAnalyzer::Prepare(
   // so a window list computed for any task is a hit for every other —
   // per-permutation window work drops to (almost) zero.
   prepared.enum_options.shared_window_cache = cache;
+  prepared.enum_options.query_control = options_.control;
 
   // Structural matches are flow-independent: compute once on the real
   // graph and reuse on every permutation (Sec. 6.3 observes that all
@@ -317,7 +319,7 @@ SignificanceAnalyzer::MotifReport SignificanceAnalyzer::Analyze(
       wave_views.push_back(graph_.WithPermutedFlows(&rng));
     }
     const auto count_one = [&](int64_t offset) {
-      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
+      if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) return;
       const int64_t task = wave_first + offset;
       const TimeSeriesGraph& target =
           task == 0 ? graph_
@@ -400,7 +402,7 @@ std::vector<SignificanceAnalyzer::MotifReport> SignificanceAnalyzer::AnalyzeAll(
     std::vector<int64_t> counts(static_cast<size_t>(num_tasks), 0);
     std::vector<uint8_t> done(static_cast<size_t>(num_tasks), 0);
     const auto count_one = [&](int64_t task) {
-      if (control != nullptr && control->CheckAt(failpoint::kSigTask)) return;
+      if (control != nullptr && control->CheckAtBoundary(failpoint::kSigTask)) return;
       const TimeSeriesGraph& target =
           task == 0 ? graph_ : views[static_cast<size_t>(task - 1)];
       counts[static_cast<size_t>(task)] = CountOn(target, motif, prepared);

@@ -398,7 +398,8 @@ bool EnumerationSkeleton::Record(const TimeSeriesGraph& graph,
     rec.BeginMatch(series);
 
     const std::vector<Window>& windows = window_mru.GetOrCompute(
-        resolved_cache, *series.front(), *series.back(), delta);
+        resolved_cache, *series.front(), *series.back(), delta,
+        options.query_control);
     if (rec.RecordMatchWindows(&cursors, series, windows)) {
       match_viable_[match_index] = 1;
     }
@@ -492,6 +493,11 @@ void EnumerationSkeleton::RecordSweepDescending(
         last_series->timestamp_identity() != mru_last) {
       ComputeProcessedWindowsMulti(*first_series, *last_series, deltas,
                                    &windows);
+      size_t computed = 0;
+      for (const std::vector<Window>& per_delta : windows) {
+        computed += per_delta.size();
+      }
+      ChargeComputedWindows(control, computed, 0);
       mru_first = first_series->timestamp_identity();
       mru_last = last_series->timestamp_identity();
     }

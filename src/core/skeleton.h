@@ -132,6 +132,12 @@ class EnumerationSkeleton {
 
   struct Options {
     size_t max_edges = kDefaultMaxEdges;
+
+    /// Lifecycle control (non-owning, may be null) billed for every
+    /// window list recording materializes — through the cache or
+    /// recomputed privately — at site "cache.windows", keeping
+    /// WorkBudget window/memory caps uniform across motif shapes.
+    QueryControl* query_control = nullptr;
   };
 
   /// Records the skeleton of enumerating `motif` at `delta` over

@@ -22,7 +22,19 @@ bool MotifHasInteriorNode(const Motif& motif) {
 bool ShouldUseWindowCache(const SharedWindowCache* cache,
                           const Motif& motif) {
   return cache != nullptr &&
-         (cache->cross_graph() || MotifHasInteriorNode(motif));
+         (cache->cross_graph() || cache->has_fallback_tier() ||
+          MotifHasInteriorNode(motif));
+}
+
+void ChargeComputedWindows(QueryControl* control, size_t num_windows,
+                           size_t container_bytes) {
+  if (control == nullptr) return;
+  const int64_t elements = static_cast<int64_t>(num_windows);
+  control->ChargeWindowElements(elements, failpoint::kCacheWindows);
+  control->ChargeMemoryBytes(
+      elements * static_cast<int64_t>(sizeof(Window)) +
+          static_cast<int64_t>(container_bytes),
+      failpoint::kCacheWindows);
 }
 
 SharedWindowCache* ResolveWindowCache(
@@ -115,9 +127,9 @@ void TimelineOffsets::Build(const std::vector<const EdgeSeries*>& series,
 
 const std::vector<Window>& WindowListMru::GetOrCompute(
     SharedWindowCache* cache, const EdgeSeries& first,
-    const EdgeSeries& last, Timestamp delta) {
+    const EdgeSeries& last, Timestamp delta, QueryControl* charge) {
   if (cache != nullptr) {
-    const std::vector<Window>* cached = cache->Get(first, last);
+    const std::vector<Window>* cached = cache->Get(first, last, charge);
     if (cached != nullptr) return *cached;
   }
   if (first_id_ == first.timestamp_identity() &&
@@ -127,6 +139,7 @@ const std::vector<Window>& WindowListMru::GetOrCompute(
   ComputeProcessedWindows(first, last, delta, &windows_);
   first_id_ = first.timestamp_identity();
   last_id_ = last.timestamp_identity();
+  ChargeComputedWindows(charge, windows_.size(), 0);
   return windows_;
 }
 
@@ -185,7 +198,9 @@ size_t SharedWindowCache::BucketOf(const StorageIdentity& first_id,
 }
 
 const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
-                                                  const EdgeSeries& last) {
+                                                  const EdgeSeries& last,
+                                                  QueryControl* charge) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   // The key is the timestamp-storage identity, not the series address:
   // a flow-permuted view hits the entry its source series published.
   const StorageIdentity first_id = first.timestamp_identity();
@@ -194,11 +209,28 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
   Node* const head = bucket.load(std::memory_order_acquire);
   for (Node* node = head; node != nullptr; node = node->next) {
     if (node->first_id == first_id && node->last_id == last_id) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return &node->windows;
     }
   }
 
-  // Miss: reserve a slot before building. The CAS loop (rather than a
+  // Budget charges land on the per-call control when given (the tier
+  // case: one cache, many queries), else on the attached per-query one.
+  QueryControl* const control = charge != nullptr ? charge : control_;
+
+  // Miss: before computing anything ourselves, fall through to the
+  // cross-query tier — it either serves a warm list another query
+  // published or publishes ours (charged to this query's control).
+  // Tier entries are as immutable and long-lived as our own, so the
+  // pointer is returned directly and this cache stays empty for pairs
+  // the tier holds. A saturated tier returns null and we proceed with
+  // the private publish below.
+  if (tier_ != nullptr) {
+    const std::vector<Window>* from_tier = tier_->Get(first, last, control);
+    if (from_tier != nullptr) return from_tier;
+  }
+
+  // Reserve a slot before building. The CAS loop (rather than a
   // blind fetch_add with rollback) keeps `size()` <= max_entries even
   // transiently, and once saturated every further miss costs one
   // relaxed load — no contended RMW on the shared counter.
@@ -215,16 +247,9 @@ const std::vector<Window>* SharedWindowCache::Get(const EdgeSeries& first,
   Node* node = new Node{first_id, last_id,
                         ComputeProcessedWindows(first, last, delta_),
                         nullptr};
-  if (control_ != nullptr) {
-    // Budget accounting happens at materialization, the only point
-    // where this query allocates window storage that outlives a match.
-    const int64_t elements = static_cast<int64_t>(node->windows.size());
-    control_->ChargeWindowElements(elements, failpoint::kCacheWindows);
-    control_->ChargeMemoryBytes(
-        elements * static_cast<int64_t>(sizeof(Window)) +
-            static_cast<int64_t>(sizeof(Node)),
-        failpoint::kCacheWindows);
-  }
+  // Budget accounting happens at materialization, the only point
+  // where this query allocates window storage that outlives a match.
+  ChargeComputedWindows(control, node->windows.size(), sizeof(Node));
   // CAS-insert at the bucket head. Insert-only means a failed CAS can
   // only have been caused by new nodes prepended since the last load —
   // re-scan just that prefix for a racing insert of the same key.

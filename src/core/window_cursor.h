@@ -40,7 +40,10 @@ class SharedWindowCache;
 /// repeats across matches of one graph), or the cache is declared
 /// cross-graph (the significance ensemble re-presents every pair once
 /// per flow-permuted view, so even a pair that is unique within one
-/// graph is requested N+1 times under the same timestamp-identity key).
+/// graph is requested N+1 times under the same timestamp-identity key),
+/// or the cache falls through to a cross-query tier (a serving layer
+/// re-presents every pair once per repeated query, which makes even
+/// within-one-graph-unique pairs worth publishing).
 bool ShouldUseWindowCache(const SharedWindowCache* cache, const Motif& motif);
 
 /// Resolves the cache a per-window evaluation path should read through
@@ -158,10 +161,15 @@ class WindowListMru {
   /// Returns the processed-window list for (first, last): from `cache`
   /// when available, else from this MRU slot (recomputing only when the
   /// pair changed). The reference is valid until the next call.
+  /// `charge` (may be null) is billed for every window list this call
+  /// materializes — whether the cache builds it or the MRU recomputes
+  /// it privately — at site "cache.windows", so WorkBudget window/memory
+  /// caps hold uniformly, not only for cache-eligible motifs.
   const std::vector<Window>& GetOrCompute(SharedWindowCache* cache,
                                           const EdgeSeries& first,
                                           const EdgeSeries& last,
-                                          Timestamp delta);
+                                          Timestamp delta,
+                                          QueryControl* charge = nullptr);
 
  private:
   StorageIdentity first_id_;
@@ -217,8 +225,14 @@ class SharedWindowCache {
   /// until the cache is destroyed. Two series with equal
   /// timestamp_identity() (a series and its flow-permuted views) share
   /// one entry.
+  ///
+  /// `charge` overrides the attached query control for budget
+  /// accounting on this call (a cross-query tier serves many controls
+  /// at once, so the per-query control must ride the call, not the
+  /// cache); null falls back to set_query_control's pointer.
   const std::vector<Window>* Get(const EdgeSeries& first,
-                                 const EdgeSeries& last);
+                                 const EdgeSeries& last,
+                                 QueryControl* charge = nullptr);
 
   Timestamp delta() const { return delta_; }
   size_t max_entries() const { return max_entries_; }
@@ -231,6 +245,18 @@ class SharedWindowCache {
   /// queries run through this cache; pass nullptr to detach.
   void set_query_control(QueryControl* control) { control_ = control; }
 
+  /// Attaches a second-level cross-query cache this one falls through
+  /// to on a miss (serve/QueryService's per-delta tier). The tier must
+  /// share this cache's delta, outlive it, and never carry its own
+  /// query control — budget charges ride the Get call instead. Lists
+  /// the tier serves (or publishes on our behalf) are byte-identical to
+  /// privately computed ones: both come out of ComputeProcessedWindows
+  /// on the same timestamp storage, and tier entries are insert-only
+  /// and identity-keyed exactly like ours. Call before handing the
+  /// cache to workers.
+  void set_fallback_tier(SharedWindowCache* tier) { tier_ = tier; }
+  bool has_fallback_tier() const { return tier_ != nullptr; }
+
   /// True when this cache is intended to serve several graphs sharing
   /// timestamp storage (a flow-permutation ensemble).
   bool cross_graph() const { return cross_graph_; }
@@ -238,6 +264,14 @@ class SharedWindowCache {
   /// Number of reserved entry slots (== published entries once all
   /// in-flight inserts finish). Never exceeds max_entries().
   size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Lookup / hit counters (relaxed; exact once concurrent Gets
+  /// drained). A fallthrough that the tier answers counts as a miss
+  /// here and a hit there, so a serving layer reads its tier's rate.
+  int64_t num_lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  int64_t num_hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
   struct Node {
@@ -254,9 +288,22 @@ class SharedWindowCache {
   const size_t max_entries_;
   const bool cross_graph_;
   QueryControl* control_ = nullptr;  // budget charging; may be null
+  SharedWindowCache* tier_ = nullptr;  // cross-query fallthrough; may be null
   std::vector<std::atomic<Node*>> buckets_;
   std::atomic<size_t> size_{0};
+  std::atomic<int64_t> lookups_{0};
+  std::atomic<int64_t> hits_{0};
 };
+
+/// Bills one freshly materialized window list against `control`'s
+/// WorkBudget at site "cache.windows" — the single charging point every
+/// materialization path shares (SharedWindowCache publish, WindowListMru
+/// private recompute, the enumerator's per-match compute), so
+/// max_window_elements / max_memory_bytes hold regardless of cache
+/// eligibility. `container_bytes` adds fixed per-list overhead (e.g. a
+/// cache node). Null control = no-op.
+void ChargeComputedWindows(QueryControl* control, size_t num_windows,
+                           size_t container_bytes);
 
 }  // namespace flowmotif
 

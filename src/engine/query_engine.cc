@@ -50,6 +50,11 @@ Status ValidateQueryOptions(const QueryOptions& options) {
     return Status::InvalidArgument(
         "kSignificance requires num_random_graphs > 0");
   }
+  if (options.shared_cache_tier != nullptr &&
+      options.shared_cache_tier->delta() != options.delta) {
+    return Status::InvalidArgument(
+        "shared_cache_tier is bound to a different delta");
+  }
   return Status::OK();
 }
 
@@ -82,12 +87,36 @@ void OverlayPoolError(ThreadPool* pool, Termination* termination) {
   }
 }
 
-EnumerationOptions ToEnumerationOptions(const QueryOptions& options) {
+EnumerationOptions ToEnumerationOptions(const QueryOptions& options,
+                                        QueryControl* control) {
   EnumerationOptions eopts;
   eopts.delta = options.delta;
   eopts.phi = options.phi;
   eopts.strict_maximality = options.strict_maximality;
+  eopts.query_control = control;
   return eopts;
+}
+
+/// Wires one per-query window cache into the query lifecycle: budget
+/// charges go to `control`, and misses fall through to the caller's
+/// cross-query tier when QueryOptions carries one (serve/QueryService).
+void AttachWindowCache(SharedWindowCache* cache, QueryControl* control,
+                       const QueryOptions& options) {
+  cache->set_query_control(control);
+  cache->set_fallback_tier(options.shared_cache_tier);
+}
+
+/// kTopK stat normalization, applied after the final collector drain:
+/// num_instances becomes the number of returned entries (exact and
+/// thread-count-invariant; under a hard stop, exact over the canonical
+/// match prefix), while the raw threshold-dependent activity — how many
+/// emissions survived the floating threshold plus how many prefixes the
+/// phi/threshold bound cut — moves to num_pruning_probes, the one
+/// counter documented as execution-dependent.
+void FinalizeTopKStats(EnumerationResult* stats, size_t num_entries) {
+  stats->num_pruning_probes = stats->num_instances + stats->num_phi_prunes;
+  stats->num_instances = static_cast<int64_t>(num_entries);
+  stats->num_phi_prunes = 0;
 }
 
 /// P2 batch cap of the streamed path. Batches are cut per released P1
@@ -112,6 +141,13 @@ EnumerationResult EnumerateRun(const FlowMotifEnumerator& enumerator,
                                QueryControl* control) {
   EnumerationResult stats;
   WallTimer timer;
+  // Batch boundary: an unthrottled deadline read, so a fresh batch
+  // never starts on an already-expired deadline — overshoot stays
+  // bounded by one batch's throttle window, never a multiple of it.
+  if (control != nullptr && control->CheckAtBoundary(failpoint::kP2Batch)) {
+    stats.phase2_seconds = timer.ElapsedSeconds();
+    return stats;
+  }
   for (const MatchBinding* m = begin; m < end; ++m) {
     if (control != nullptr && control->CheckAt(failpoint::kP2Batch)) break;
     ++stats.num_structural_matches;
@@ -176,12 +212,18 @@ EnumerationResult TopKRunLocal(const TimeSeriesGraph& graph,
   eopts.phi = options.phi;
   eopts.strict_maximality = options.strict_maximality;
   eopts.shared_window_cache = cache;
+  eopts.query_control = control;
   eopts.dynamic_min_flow_exclusive = [&threshold]() {
     return threshold.ExclusiveBound();
   };
   const FlowMotifEnumerator enumerator(graph, motif, eopts);
   EnumerationResult stats;
   WallTimer timer;
+  // Batch boundary: unthrottled deadline read (see EnumerateRun).
+  if (control->CheckAtBoundary(failpoint::kP2Batch)) {
+    stats.phase2_seconds = timer.ElapsedSeconds();
+    return stats;
+  }
   int64_t m_index = first_match_index;
   for (const MatchBinding* m = begin; m < end; ++m, ++m_index) {
     if (control->CheckAt(failpoint::kP2Batch)) break;
@@ -210,6 +252,11 @@ InstanceCounter::Result CountRun(const InstanceCounter& counter,
   InstanceCounter::Result counts;
   WallTimer timer;
   WindowListMru window_mru;
+  // Batch boundary: unthrottled deadline read (see EnumerateRun).
+  if (control != nullptr && control->CheckAtBoundary(failpoint::kP2Batch)) {
+    *seconds = timer.ElapsedSeconds();
+    return counts;
+  }
   for (const MatchBinding* m = begin; m < end; ++m) {
     if (control != nullptr && control->CheckAt(failpoint::kP2Batch)) break;
     ++counts.num_structural_matches;
@@ -636,8 +683,8 @@ void QueryEngine::RunEnumerate(const Motif& motif,
   // One shared window cache per query: every batch of every worker
   // reads per-match window lists through it (lock-free once built).
   SharedWindowCache window_cache(options.delta);
-  window_cache.set_query_control(control);
-  EnumerationOptions eopts = ToEnumerationOptions(options);
+  AttachWindowCache(&window_cache, control, options);
+  EnumerationOptions eopts = ToEnumerationOptions(options, control);
   eopts.shared_window_cache = &window_cache;
   const FlowMotifEnumerator enumerator(graph_, motif, eopts);
   const std::vector<MatchBatch> batches = PartitionMatches(
@@ -706,9 +753,10 @@ void QueryEngine::RunCount(const Motif& motif,
                            const QueryOptions& options, ThreadPool* pool,
                            QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
-  window_cache.set_query_control(control);
-  const InstanceCounter counter(graph_, motif, options.delta, options.phi,
-                                &window_cache);
+  AttachWindowCache(&window_cache, control, options);
+  InstanceCounter counter(graph_, motif, options.delta, options.phi,
+                          &window_cache);
+  counter.set_query_control(control);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -750,7 +798,7 @@ void QueryEngine::RunTopK(const Motif& motif,
                           const QueryOptions& options, ThreadPool* pool,
                           QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
-  window_cache.set_query_control(control);
+  AttachWindowCache(&window_cache, control, options);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -761,7 +809,7 @@ void QueryEngine::RunTopK(const Motif& motif,
     // workers' emissions (Observe), so it tightens before any single
     // collector fills and matches the serial searcher's pruning rate.
     SharedFlowThreshold shared(options.k);
-    EnumerationOptions eopts = ToEnumerationOptions(options);
+    EnumerationOptions eopts = ToEnumerationOptions(options, control);
     eopts.dynamic_min_flow_exclusive = [&shared]() {
       return shared.ExclusiveBound();
     };
@@ -784,6 +832,7 @@ void QueryEngine::RunTopK(const Motif& motif,
         });
 
     result->topk = global.Drain();
+    FinalizeTopKStats(&result->stats, result->topk.size());
     return;
   }
 
@@ -821,6 +870,7 @@ void QueryEngine::RunTopK(const Motif& motif,
     }
   }
   result->topk = global.Drain();
+  FinalizeTopKStats(&result->stats, result->topk.size());
   result->termination = control->Finish(matches_done);
 }
 
@@ -829,9 +879,9 @@ void QueryEngine::RunTop1(const Motif& motif,
                           const QueryOptions& options, ThreadPool* pool,
                           QueryControl* control, QueryResult* result) const {
   SharedWindowCache window_cache(options.delta);
-  window_cache.set_query_control(control);
-  const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
-                                   &window_cache);
+  AttachWindowCache(&window_cache, control, options);
+  MaxFlowDpSearcher searcher(graph_, motif, options.delta, &window_cache);
+  searcher.set_query_control(control);
   const std::vector<MatchBatch> batches = PartitionMatches(
       static_cast<int64_t>(matches.size()), pool->num_threads(),
       options.batch_size);
@@ -1000,8 +1050,8 @@ void QueryEngine::RunStreamed(const Motif& motif,
   switch (options.mode) {
     case QueryMode::kEnumerate: {
       SharedWindowCache window_cache(options.delta);
-      window_cache.set_query_control(control);
-      EnumerationOptions eopts = ToEnumerationOptions(options);
+      AttachWindowCache(&window_cache, control, options);
+      EnumerationOptions eopts = ToEnumerationOptions(options, control);
       eopts.shared_window_cache = &window_cache;
       const FlowMotifEnumerator enumerator(graph_, motif, eopts);
       const int64_t limit = options.collect_limit;
@@ -1074,9 +1124,10 @@ void QueryEngine::RunStreamed(const Motif& motif,
     }
     case QueryMode::kCount: {
       SharedWindowCache window_cache(options.delta);
-      window_cache.set_query_control(control);
-      const InstanceCounter counter(graph_, motif, options.delta,
-                                    options.phi, &window_cache);
+      AttachWindowCache(&window_cache, control, options);
+      InstanceCounter counter(graph_, motif, options.delta, options.phi,
+                              &window_cache);
+      counter.set_query_control(control);
       std::mutex mu;
       struct Entry {
         int64_t first = 0;
@@ -1125,10 +1176,10 @@ void QueryEngine::RunStreamed(const Motif& motif,
     }
     case QueryMode::kTopK: {
       SharedWindowCache window_cache(options.delta);
-      window_cache.set_query_control(control);
+      AttachWindowCache(&window_cache, control, options);
       if (control == nullptr) {
         SharedFlowThreshold shared(options.k);
-        EnumerationOptions eopts = ToEnumerationOptions(options);
+        EnumerationOptions eopts = ToEnumerationOptions(options, control);
         eopts.dynamic_min_flow_exclusive = [&shared]() {
           return shared.ExclusiveBound();
         };
@@ -1146,6 +1197,7 @@ void QueryEngine::RunStreamed(const Motif& motif,
         result->stats.phase1_seconds = stream.p1_cpu_seconds;
         result->num_batches = stream.num_batches;
         result->topk = global.Drain();
+        FinalizeTopKStats(&result->stats, result->topk.size());
         return;
       }
       // Control active: batch-local thresholds/collectors
@@ -1191,14 +1243,16 @@ void QueryEngine::RunStreamed(const Motif& motif,
       result->stats.phase1_seconds = stream.p1_cpu_seconds;
       result->num_batches = stream.num_batches;
       result->topk = global.Drain();
+      FinalizeTopKStats(&result->stats, result->topk.size());
       result->termination = control->Finish(matches_done);
       return;
     }
     case QueryMode::kTop1: {
       SharedWindowCache window_cache(options.delta);
-      window_cache.set_query_control(control);
-      const MaxFlowDpSearcher searcher(graph_, motif, options.delta,
-                                       &window_cache);
+      AttachWindowCache(&window_cache, control, options);
+      MaxFlowDpSearcher searcher(graph_, motif, options.delta,
+                                 &window_cache);
+      searcher.set_query_control(control);
       std::mutex mu;
       struct Entry {
         int64_t first = 0;

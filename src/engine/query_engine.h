@@ -34,11 +34,14 @@ struct QueryResult {
   /// streamed path, where the phases overlap and no per-phase wall time
   /// exists — so do not compare phase1_seconds across paths.
   /// wall_seconds below is always the end-to-end time. In kTopK mode
-  /// the pruning counters (num_phi_prunes, num_instances surviving the
-  /// floating threshold) depend on how fast the threshold tightened and
-  /// are the only fields that may differ across thread counts — the
-  /// result entries never do. num_batches may also differ between the
-  /// streamed and barrier execution paths (batch boundaries are an
+  /// num_instances is the number of returned entries (== topk.size())
+  /// and num_phi_prunes is 0: the floating threshold makes the raw
+  /// survivor/prune counts depend on how fast it tightened, so that
+  /// execution-dependent activity is quarantined in num_pruning_probes
+  /// and every other stat is deterministic at any thread count — under
+  /// a hard stop, exact over the canonical match prefix. num_batches
+  /// and num_pruning_probes may differ between the streamed and barrier
+  /// execution paths and across thread counts (batch boundaries are an
   /// execution detail).
   EnumerationResult stats;
 

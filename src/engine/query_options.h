@@ -9,6 +9,8 @@
 
 namespace flowmotif {
 
+class SharedWindowCache;
+
 /// The query modes unified behind QueryEngine — the paper's threshold
 /// enumeration (Sec. 4), top-k and top-1 search (Sec. 5), significance
 /// analysis (Sec. 6.3), plus the construction-free counting mode
@@ -62,6 +64,17 @@ struct QueryOptions {
   /// paths fall back on their own when recording is bypassed (trace
   /// budget exceeded).
   bool skeleton_replay = true;
+
+  /// Cross-query window-cache tier (non-owning, may be null): a
+  /// long-lived SharedWindowCache — bound to the SAME delta as this
+  /// query — that the engine's per-query window caches fall through to
+  /// on a miss (core/window_cursor.h). Processed-window lists computed
+  /// by one query are then reused by every later query at that delta
+  /// over the same edge storage. Results stay byte-identical: the tier
+  /// only changes where a list is found, never its contents. Owned by
+  /// the caller (typically serve/QueryService), which must keep it
+  /// alive for the call and drop it when the graph changes identity.
+  SharedWindowCache* shared_cache_tier = nullptr;
 
   /// Lifecycle controls (DESIGN.md Sec. 10). All default to inactive;
   /// when none is set the engine runs the zero-overhead path. The

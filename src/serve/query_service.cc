@@ -1,0 +1,314 @@
+#include "serve/query_service.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace flowmotif {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int ResolveWorkers(int num_workers) {
+  return num_workers > 0 ? num_workers : ThreadPool::DefaultParallelism();
+}
+
+double SecondsBetween(SteadyClock::time_point from, SteadyClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Bit-exact double encoding for dedup keys: two requests coalesce only
+/// when every threshold matches to the bit, never "close enough".
+void AppendDoubleBits(std::string* key, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  key->push_back('|');
+  key->append(std::to_string(bits));
+}
+
+void AppendInt(std::string* key, int64_t value) {
+  key->push_back('|');
+  key->append(std::to_string(value));
+}
+
+}  // namespace
+
+struct QueryService::Pending {
+  Pending(ServeRequest r, SteadyClock::time_point t)
+      : request(std::move(r)), submit_time(t) {}
+
+  ServeRequest request;
+  std::promise<ServedResult> promise;
+  SteadyClock::time_point submit_time;
+  /// Non-empty iff this request owns an inflight_ dedup entry.
+  std::string dedup_key;
+};
+
+struct QueryService::Inflight {
+  std::vector<std::pair<std::promise<ServedResult>, SteadyClock::time_point>>
+      followers;
+};
+
+QueryService::QueryService(TimeSeriesGraph graph, ServiceConfig config)
+    : graph_(std::move(graph)),
+      config_(std::move(config)),
+      max_concurrent_(config_.max_concurrent > 0
+                          ? config_.max_concurrent
+                          : ResolveWorkers(config_.num_workers)),
+      engine_(graph_),
+      pool_(ResolveWorkers(config_.num_workers)) {}
+
+QueryService::~QueryService() {
+  // Drain: every admitted request (running or queued) completes before
+  // the members it uses (engine, tiers, graph) go away. New Submits
+  // during destruction are a caller contract violation, as usual.
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+  lock.unlock();
+  // The last RunOne may still be past its counter updates but before
+  // its final promise fulfillment; Wait() covers the full task.
+  pool_.Wait();
+}
+
+SharedWindowCache* QueryService::TierForDeltaLocked(Timestamp delta) {
+  std::unique_ptr<SharedWindowCache>& slot = tiers_[delta];
+  if (slot == nullptr) {
+    // The tier carries no query control of its own: budget charges ride
+    // each Get call (the per-query control), since one tier serves many
+    // concurrent queries.
+    slot = std::make_unique<SharedWindowCache>(delta, config_.tier_max_entries,
+                                               /*cross_graph=*/false);
+  }
+  return slot.get();
+}
+
+std::string QueryService::DedupKey(const Motif& motif,
+                                   const QueryOptions& options) {
+  std::string key = motif.PathString();
+  AppendInt(&key, static_cast<int64_t>(options.mode));
+  AppendInt(&key, options.delta);
+  AppendDoubleBits(&key, options.phi);
+  AppendInt(&key, options.k);
+  AppendInt(&key, options.strict_maximality ? 1 : 0);
+  AppendInt(&key, options.collect_limit);
+  AppendInt(&key, options.num_random_graphs);
+  AppendInt(&key, static_cast<int64_t>(options.seed));
+  return key;
+}
+
+int64_t QueryService::StartLocked(const Pending& pending) {
+  ++running_;
+  if (running_ > stats_.peak_running) stats_.peak_running = running_;
+  ++tenant_running_[pending.request.tenant];
+  return next_sequence_++;
+}
+
+void QueryService::AdmitFromQueueLocked(
+    std::vector<std::pair<std::shared_ptr<Pending>, int64_t>>* started) {
+  const int64_t cap = config_.per_tenant_max_running;
+  for (auto it = queue_.begin();
+       it != queue_.end() && running_ < max_concurrent_;) {
+    const std::string& tenant = (*it)->request.tenant;
+    if (cap > 0) {
+      const auto t = tenant_running_.find(tenant);
+      if (t != tenant_running_.end() && t->second >= cap) {
+        // Over-cap tenant: skip, don't dequeue — FIFO within the
+        // tenant, fairness across tenants.
+        ++it;
+        continue;
+      }
+    }
+    std::shared_ptr<Pending> pending = *it;
+    it = queue_.erase(it);
+    started->emplace_back(pending, StartLocked(*pending));
+  }
+}
+
+std::future<ServedResult> QueryService::Submit(ServeRequest request) {
+  const SteadyClock::time_point submit_time = SteadyClock::now();
+  QueryOptions& options = request.options;
+
+  // Service defaults for requests that carry no lifecycle bounds. The
+  // deadline anchors here, before any queue wait, so a request that
+  // queues past it stops at "engine.start" without doing work.
+  if (!options.deadline.active() && config_.default_deadline_seconds > 0.0) {
+    options.deadline =
+        QueryDeadline::AfterSeconds(config_.default_deadline_seconds);
+  }
+  if (!options.budget.active() && config_.default_budget.active()) {
+    options.budget = config_.default_budget;
+  }
+  // The service parallelizes across queries, not within them: worker
+  // count bounds total parallelism, and results are byte-identical at
+  // any thread count by engine contract.
+  options.num_threads = 1;
+
+  auto pending = std::make_shared<Pending>(std::move(request), submit_time);
+  std::future<ServedResult> future = pending->promise.get_future();
+  QueryOptions& opts = pending->request.options;
+
+  // Admission failpoint: lets tests inject a termination outcome for
+  // exactly the (N+1)-th Submit without timing races.
+  if (failpoint::kFailpointsCompiledIn && failpoint::AnyArmed()) {
+    QueryControl probe(nullptr, QueryDeadline(), WorkBudget());
+    failpoint::Evaluate(failpoint::kServeAdmit, &probe);
+    if (probe.ShouldStop()) {
+      auto injected = std::make_shared<QueryResult>();
+      injected->mode = opts.mode;
+      injected->termination = probe.Finish(0);
+      ServedResult served;
+      served.result = std::move(injected);
+      served.rejected = true;
+      served.total_seconds = SecondsBetween(submit_time, SteadyClock::now());
+      served.queue_seconds = served.total_seconds;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.submitted;
+        ++stats_.rejected;
+      }
+      pending->promise.set_value(std::move(served));
+      return future;
+    }
+  }
+
+  bool rejected = false;
+  std::vector<std::pair<std::shared_ptr<Pending>, int64_t>> started;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+
+    if (config_.enable_cache_tier && opts.delta > 0 &&
+        opts.shared_cache_tier == nullptr) {
+      opts.shared_cache_tier = TierForDeltaLocked(opts.delta);
+    }
+
+    // In-flight dedup. Only requests without per-request lifecycle
+    // state are eligible: a shared run could not honor one caller's
+    // token/deadline/budget without affecting the others.
+    if (config_.enable_dedup && opts.cancel_token == nullptr &&
+        !opts.deadline.active() && !opts.budget.active()) {
+      std::string key = DedupKey(pending->request.motif, opts);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        ++stats_.coalesced;
+        it->second->followers.emplace_back(std::move(pending->promise),
+                                           submit_time);
+        return future;
+      }
+      inflight_.emplace(key, std::make_shared<Inflight>());
+      pending->dedup_key = std::move(key);
+    }
+
+    const int64_t cap = config_.per_tenant_max_running;
+    const auto t = tenant_running_.find(pending->request.tenant);
+    const bool tenant_ok =
+        cap <= 0 || t == tenant_running_.end() || t->second < cap;
+    if (running_ < max_concurrent_ && tenant_ok) {
+      started.emplace_back(pending, StartLocked(*pending));
+    } else if (static_cast<int>(queue_.size()) < config_.max_queue_depth) {
+      queue_.push_back(pending);
+      const int64_t depth = static_cast<int64_t>(queue_.size());
+      if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
+    } else {
+      ++stats_.rejected;
+      rejected = true;
+      if (!pending->dedup_key.empty()) inflight_.erase(pending->dedup_key);
+    }
+  }
+
+  if (rejected) {
+    auto full = std::make_shared<QueryResult>();
+    full->mode = opts.mode;
+    full->termination.code = TerminationCode::kRejected;
+    full->termination.stopped_at = failpoint::kServeAdmit;
+    full->termination.detail = "admission queue full";
+    full->termination.work_completed = 0;
+    ServedResult served;
+    served.result = std::move(full);
+    served.rejected = true;
+    served.total_seconds = SecondsBetween(submit_time, SteadyClock::now());
+    served.queue_seconds = served.total_seconds;
+    pending->promise.set_value(std::move(served));
+    return future;
+  }
+
+  // Outside mu_: a 1-worker pool runs the task inline, and RunOne
+  // re-enters the lock.
+  for (auto& entry : started) {
+    std::shared_ptr<Pending> p = entry.first;
+    const int64_t sequence = entry.second;
+    pool_.Submit([this, p, sequence] { RunOne(p, sequence); });
+  }
+  return future;
+}
+
+void QueryService::RunOne(std::shared_ptr<Pending> pending, int64_t sequence) {
+  const SteadyClock::time_point run_start = SteadyClock::now();
+  if (pending->request.on_start) pending->request.on_start();
+  QueryResult result =
+      engine_.Run(pending->request.motif, pending->request.options);
+  const std::shared_ptr<const QueryResult> shared =
+      std::make_shared<const QueryResult>(std::move(result));
+  const SteadyClock::time_point run_end = SteadyClock::now();
+
+  std::vector<std::pair<std::promise<ServedResult>, SteadyClock::time_point>>
+      followers;
+  std::vector<std::pair<std::shared_ptr<Pending>, int64_t>> started;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    --running_;
+    auto t = tenant_running_.find(pending->request.tenant);
+    if (t != tenant_running_.end() && --t->second <= 0) {
+      tenant_running_.erase(t);
+    }
+    if (!pending->dedup_key.empty()) {
+      const auto it = inflight_.find(pending->dedup_key);
+      if (it != inflight_.end()) {
+        followers = std::move(it->second->followers);
+        inflight_.erase(it);
+      }
+    }
+    AdmitFromQueueLocked(&started);
+    if (running_ == 0 && queue_.empty()) drained_.notify_all();
+  }
+
+  ServedResult served;
+  served.result = shared;
+  served.admission_sequence = sequence;
+  served.queue_seconds = SecondsBetween(pending->submit_time, run_start);
+  served.total_seconds = SecondsBetween(pending->submit_time, run_end);
+  pending->promise.set_value(std::move(served));
+
+  for (auto& follower : followers) {
+    ServedResult coalesced;
+    coalesced.result = shared;
+    coalesced.coalesced = true;
+    coalesced.admission_sequence = sequence;
+    coalesced.queue_seconds = SecondsBetween(follower.second, run_start);
+    coalesced.total_seconds = SecondsBetween(follower.second, run_end);
+    follower.first.set_value(std::move(coalesced));
+  }
+
+  for (auto& entry : started) {
+    std::shared_ptr<Pending> next = entry.first;
+    const int64_t next_sequence = entry.second;
+    pool_.Submit([this, next, next_sequence] { RunOne(next, next_sequence); });
+  }
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  for (const auto& tier : tiers_) {
+    out.tier_lookups += tier.second->num_lookups();
+    out.tier_hits += tier.second->num_hits();
+  }
+  return out;
+}
+
+}  // namespace flowmotif

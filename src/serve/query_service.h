@@ -1,0 +1,221 @@
+#ifndef FLOWMOTIF_SERVE_QUERY_SERVICE_H_
+#define FLOWMOTIF_SERVE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/motif.h"
+#include "core/window_cursor.h"
+#include "engine/query_engine.h"
+#include "engine/query_options.h"
+#include "graph/time_series_graph.h"
+#include "util/cancellation.h"
+#include "util/thread_pool.h"
+
+namespace flowmotif {
+
+/// serve/: the multi-query serving layer (DESIGN.md Sec. 11). One
+/// QueryService owns one immutable TimeSeriesGraph and runs many
+/// concurrent queries against it through QueryEngine, adding the three
+/// things a single synchronous Run call cannot provide:
+///
+///  * a cross-query window-cache tier — one long-lived SharedWindowCache
+///    per delta that every query's per-query cache falls through to, so
+///    processed-window lists computed by one query are hits for every
+///    later query at that delta (including non-interior motifs, whose
+///    pairs never repeat within one query but repeat across queries);
+///  * admission control and tenant-fair scheduling — a bounded queue in
+///    front of a concurrency cap, rejecting overload with a kRejected
+///    Termination instead of blocking, and skipping over-cap tenants so
+///    one tenant's burst cannot starve another's single query;
+///  * in-flight deduplication — identical (motif, options) submissions
+///    against the same graph coalesce onto one engine run and share one
+///    immutable QueryResult.
+///
+/// Results are byte-identical to solo QueryEngine runs: the tier only
+/// changes where a window list is *found*, never its contents, and the
+/// engine's canonical-order folds already make every mode deterministic
+/// at any thread count (tests/serving_test.cc locks this in under TSan).
+
+/// Service-wide configuration. Every 0 selects the documented default.
+struct ServiceConfig {
+  /// Worker threads executing queries. 0 = one per hardware thread.
+  /// With 1 worker the pool degenerates to inline execution: Submit
+  /// runs the query synchronously on the calling thread (still
+  /// correct, used by deterministic tests).
+  int num_workers = 0;
+
+  /// Queries running at once. 0 = num_workers. Each served query runs
+  /// with num_threads = 1 — the service parallelizes across queries,
+  /// not within them, so worker count bounds total parallelism.
+  int max_concurrent = 0;
+
+  /// Bounded admission queue depth behind the concurrency cap. A
+  /// Submit that finds the queue full fails fast: its result carries
+  /// Termination kRejected at site "serve.admit" instead of blocking
+  /// the caller.
+  int max_queue_depth = 64;
+
+  /// Per-tenant cap on concurrently *running* queries (0 = unlimited).
+  /// Queued requests of an at-cap tenant are skipped — not dequeued —
+  /// by the admission scan, so another tenant's later submission can
+  /// start first (tenant fairness) while FIFO order is preserved
+  /// within each tenant.
+  int per_tenant_max_running = 0;
+
+  /// Default lifecycle bounds stamped onto requests that carry none.
+  /// The deadline is anchored at Submit time, so it covers queue wait:
+  /// a request that queues past its deadline terminates at
+  /// "engine.start" without doing work. 0 / inactive = no default.
+  double default_deadline_seconds = 0.0;
+  WorkBudget default_budget;
+
+  /// Cross-query window-cache tier (one SharedWindowCache per delta,
+  /// created lazily, insert-only and identity-keyed like every cache).
+  bool enable_cache_tier = true;
+  size_t tier_max_entries = 8 * SharedWindowCache::kDefaultMaxEntries;
+
+  /// In-flight dedup of identical submissions. Only requests with no
+  /// cancel token, deadline, or budget (after defaults) are eligible —
+  /// per-request lifecycle state must not be shared.
+  bool enable_dedup = true;
+};
+
+/// One query submission.
+struct ServeRequest {
+  Motif motif;
+  QueryOptions options;
+
+  /// Admission-control identity; empty = the shared anonymous tenant.
+  std::string tenant{};
+
+  /// Test hook: runs on the worker immediately before the engine run
+  /// (after queue wait). A coalesced submission's hook never runs —
+  /// the submission never executes, its leader did.
+  std::function<void()> on_start{};
+};
+
+/// What a Submit future resolves to.
+struct ServedResult {
+  /// The query result; shared because coalesced submissions alias one
+  /// run's output. Never null.
+  std::shared_ptr<const QueryResult> result;
+
+  /// The request never ran: admission queue full (result->termination
+  /// is kRejected at "serve.admit") or a fault injected at admission.
+  bool rejected = false;
+
+  /// This submission attached to an identical in-flight run instead of
+  /// executing (result is the leader's).
+  bool coalesced = false;
+
+  /// Order in which the owning engine run *started* (service-wide,
+  /// from 0); -1 when rejected. Followers report their leader's
+  /// sequence. The fairness tests key on this.
+  int64_t admission_sequence = -1;
+
+  double queue_seconds = 0.0;  // Submit to engine-run start
+  double total_seconds = 0.0;  // Submit to completion
+};
+
+/// Aggregate service counters (monotone; read at any time).
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;  // engine runs finished (followers not counted)
+  int64_t rejected = 0;
+  int64_t coalesced = 0;
+  int64_t peak_running = 0;
+  int64_t peak_queue_depth = 0;
+  /// Cross-query tier totals over all deltas. A per-query cache miss
+  /// that the tier answers counts as one lookup + one hit here.
+  int64_t tier_lookups = 0;
+  int64_t tier_hits = 0;
+};
+
+/// The serving facade. Thread-safe: Submit / Stats may be called from
+/// any thread. Destruction drains — it blocks until every admitted
+/// request (running or queued) has completed.
+class QueryService {
+ public:
+  explicit QueryService(TimeSeriesGraph graph,
+                        ServiceConfig config = ServiceConfig());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one query. Never blocks on the queue: overload resolves
+  /// the future immediately with kRejected. The future is resolved by
+  /// a worker (or inline with 1 worker); futures from coalesced
+  /// submissions resolve when their leader's run completes.
+  std::future<ServedResult> Submit(ServeRequest request);
+
+  ServiceStats Stats() const;
+
+  const TimeSeriesGraph& graph() const { return graph_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending;
+  struct Inflight;
+
+  /// The cross-query tier for `delta`, created on first use. Requires
+  /// mu_ held.
+  SharedWindowCache* TierForDeltaLocked(Timestamp delta);
+
+  /// Dedup-map key for an eligible request: the motif's structural
+  /// encoding plus every result-affecting option. Execution knobs
+  /// (num_threads, batch_size, skeleton_replay) are excluded — results
+  /// are byte-identical across them by engine contract.
+  static std::string DedupKey(const Motif& motif, const QueryOptions& options);
+
+  /// Runs one admitted request on the calling (worker) thread, then
+  /// re-scans the queue for newly admissible work.
+  void RunOne(std::shared_ptr<Pending> pending, int64_t sequence);
+
+  /// Starts every queue entry the caps admit. Requires mu_ held;
+  /// fills `started` with (pending, sequence) pairs the caller must
+  /// hand to the pool *after* releasing mu_ (a 1-worker pool runs
+  /// tasks inline, which would re-enter the lock).
+  void AdmitFromQueueLocked(
+      std::vector<std::pair<std::shared_ptr<Pending>, int64_t>>* started);
+
+  /// Bumps running/tenant counters for `pending` and assigns its
+  /// sequence. Requires mu_ held.
+  int64_t StartLocked(const Pending& pending);
+
+  const TimeSeriesGraph graph_;
+  const ServiceConfig config_;
+  const int max_concurrent_;
+  const QueryEngine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  int64_t running_ = 0;
+  int64_t next_sequence_ = 0;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::unordered_map<std::string, int64_t> tenant_running_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  /// One tier per delta. Entries are never erased while the service
+  /// lives: engine runs read them outside mu_, and SharedWindowCache
+  /// pointers must stay valid for the graph's lifetime anyway.
+  std::map<Timestamp, std::unique_ptr<SharedWindowCache>> tiers_;
+  ServiceStats stats_;
+
+  /// Last member: destroyed first, but the destructor drains the queue
+  /// explicitly before ~ThreadPool joins the workers.
+  ThreadPool pool_;
+};
+
+}  // namespace flowmotif
+
+#endif  // FLOWMOTIF_SERVE_QUERY_SERVICE_H_

@@ -28,6 +28,8 @@ const char* TerminationCodeToString(TerminationCode code) {
       return "BUDGET_EXCEEDED";
     case TerminationCode::kError:
       return "ERROR";
+    case TerminationCode::kRejected:
+      return "REJECTED";
   }
   return "UNKNOWN";
 }
@@ -79,6 +81,14 @@ QueryControl::QueryControl(const CancellationToken* token,
     : token_(token), deadline_(deadline), budget_(budget) {}
 
 bool QueryControl::CheckAt(const char* site) {
+  return CheckImpl(site, /*throttled=*/true);
+}
+
+bool QueryControl::CheckAtBoundary(const char* site) {
+  return CheckImpl(site, /*throttled=*/false);
+}
+
+bool QueryControl::CheckImpl(const char* site, bool throttled) {
   if (ShouldStop()) return true;
 #if defined(FLOWMOTIF_FAILPOINTS_ENABLED)
   failpoint::Evaluate(site, this);
@@ -90,8 +100,12 @@ bool QueryControl::CheckAt(const char* site) {
     return true;
   }
   if (deadline_.active()) {
-    const uint64_t n = check_count_.fetch_add(1, std::memory_order_relaxed);
-    if ((n & kDeadlineCheckMask) == 0 && deadline_.Expired()) {
+    bool read_clock = !throttled;
+    if (throttled) {
+      const uint64_t n = check_count_.fetch_add(1, std::memory_order_relaxed);
+      read_clock = (n & kDeadlineCheckMask) == 0;
+    }
+    if (read_clock && deadline_.Expired()) {
       RequestStop(TerminationCode::kDeadlineExceeded, site, Status::OK());
       return true;
     }

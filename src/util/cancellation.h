@@ -29,6 +29,7 @@ enum class TerminationCode {
   kDeadlineExceeded,   // QueryDeadline expired
   kBudgetExceeded,     // a WorkBudget dimension was exhausted
   kError,              // a Status error surfaced (pool task, injection)
+  kRejected,           // never admitted (serve/: admission queue full)
 };
 
 const char* TerminationCodeToString(TerminationCode code);
@@ -123,13 +124,16 @@ struct WorkBudget {
   /// `work_completed` matches (termination kBudgetExceeded).
   int64_t max_matches = -1;
 
-  /// Maximum window-list elements materialized through the query's
-  /// SharedWindowCache (approximate: privately recomputed windows are
-  /// not charged).
+  /// Maximum window-list elements the query materializes. Charged
+  /// uniformly at site "cache.windows" for every processed-window list
+  /// a match brings into existence — through a shared cache, a run-
+  /// local MRU, or a private per-match computation — so the cap holds
+  /// for every motif shape (core/window_cursor.h,
+  /// ChargeComputedWindows). Cache *hits* are not re-charged.
   int64_t max_window_elements = -1;
 
-  /// Soft memory cap in bytes, charged for window-list storage (same
-  /// approximation as max_window_elements).
+  /// Soft memory cap in bytes, charged for window-list storage at the
+  /// same uniform site as max_window_elements.
   int64_t max_memory_bytes = -1;
 
   bool active() const {
@@ -162,6 +166,15 @@ class QueryControl {
   /// Returns true when the query must stop.
   bool CheckAt(const char* site);
 
+  /// CheckAt with an *unthrottled* deadline read. Use at batch
+  /// boundaries ("p2.batch", "sig.task"): the per-match sites inside a
+  /// batch stay throttled — the clock read must not enter the per-match
+  /// cost — but a batch of dense matches can burn through a whole
+  /// 64-check throttle window, so the boundary reads the clock
+  /// unconditionally and deadline overshoot is bounded by one batch's
+  /// matches plus whatever the throttle admits, never a multiple of it.
+  bool CheckAtBoundary(const char* site);
+
   /// Budget charges from the shared window cache. Thread-safe; the
   /// first charge that crosses a limit requests kBudgetExceeded.
   void ChargeWindowElements(int64_t elements, const char* site);
@@ -185,6 +198,10 @@ class QueryControl {
   Termination Finish(int64_t work_completed = -1) const;
 
  private:
+  /// Shared body of CheckAt / CheckAtBoundary; `throttled` selects
+  /// whether the deadline clock read goes through the 1-in-64 throttle.
+  bool CheckImpl(const char* site, bool throttled);
+
   const CancellationToken* token_;  // may be null
   const QueryDeadline deadline_;
   const WorkBudget budget_;

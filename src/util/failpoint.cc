@@ -65,6 +65,7 @@ const std::vector<std::string>& AllSites() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
       kEngineStart, kP1Unit,      kP2Batch,   kDpMatch,       kSigTask,
       kSweepRecord, kSweepCell,   kStreamRevisit, kCacheWindows,
+      kServeAdmit,
   };
   return *sites;
 }

@@ -61,17 +61,15 @@ class FaultInjectionTest : public ::testing::Test {
 };
 
 /// Compares the mode-relevant deterministic payload of two results.
-/// (kTopK pruning counters are the documented exception and are not
-/// compared.)
+/// Every stat here is deterministic in every mode — kTopK quarantines
+/// its floating-threshold activity in num_pruning_probes, so its
+/// num_instances (== topk.size()) compares like any other mode's.
 void ExpectSamePayload(const QueryResult& a, const QueryResult& b,
                        const std::string& context) {
   SCOPED_TRACE(context);
   ASSERT_EQ(a.mode, b.mode);
-  if (a.mode != QueryMode::kTopK) {
-    // kTopK's num_instances is a pruning counter (floating-threshold
-    // dependent) — the documented exception to byte-identity.
-    EXPECT_EQ(a.stats.num_instances, b.stats.num_instances);
-  }
+  EXPECT_EQ(a.stats.num_instances, b.stats.num_instances);
+  EXPECT_EQ(a.stats.num_phi_prunes, b.stats.num_phi_prunes);
   EXPECT_EQ(a.stats.num_structural_matches, b.stats.num_structural_matches);
   ASSERT_EQ(a.instances.size(), b.instances.size());
   for (size_t i = 0; i < a.instances.size(); ++i) {
@@ -97,12 +95,12 @@ void ExpectSamePayload(const QueryResult& a, const QueryResult& b,
 
 TEST_F(FaultInjectionTest, SiteInventoryIsComplete) {
   const std::vector<std::string>& sites = failpoint::AllSites();
-  EXPECT_EQ(sites.size(), 9u);
+  EXPECT_EQ(sites.size(), 10u);
   for (const char* site :
        {failpoint::kEngineStart, failpoint::kP1Unit, failpoint::kP2Batch,
         failpoint::kDpMatch, failpoint::kSigTask, failpoint::kSweepRecord,
         failpoint::kSweepCell, failpoint::kStreamRevisit,
-        failpoint::kCacheWindows}) {
+        failpoint::kCacheWindows, failpoint::kServeAdmit}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), std::string(site)),
               sites.end())
         << site;
@@ -301,11 +299,9 @@ TEST_F(FaultInjectionTest, MaxMatchesBudgetTruncatesToExactPrefix) {
 }
 
 TEST_F(FaultInjectionTest, WindowElementBudgetStopsThroughCache) {
-  // The budget is charged at SharedWindowCache materialization, which
-  // the engine only routes through for motifs with an interior node —
-  // for shorter paths the (first, last) series pin the binding, so
-  // windows are computed privately (uncharged by design). M(5,4) is the
-  // smallest path motif with an interior node (node 2).
+  // The cache-routed flavour of the window budget: M(5,4) has an
+  // interior node, so its window lists materialize through the shared
+  // cache and the charge lands on the cache-insert path.
   const Workload& w = SharedWorkload();
   const QueryEngine engine(w.graph);
   const Motif motif = *MotifCatalog::ByName("M(5,4)");
@@ -324,6 +320,103 @@ TEST_F(FaultInjectionTest, WindowElementBudgetStopsThroughCache) {
   const QueryResult clean = engine.Run(motif, options);
   EXPECT_TRUE(clean.termination.complete());
   EXPECT_GT(clean.stats.num_structural_matches, 0);
+}
+
+TEST_F(FaultInjectionTest, WindowBudgetHoldsForNonInteriorMotifs) {
+  // Regression: the window/memory budget used to be charged only at
+  // SharedWindowCache materialization, and the engine routes through
+  // the cache only for motifs with an interior node — so M(2,1)/M(3,2)
+  // computed their window lists privately, entirely unbudgeted. The
+  // charge now lands uniformly at "cache.windows" for every list a
+  // match materializes, cached or private, so the cap binds for every
+  // motif shape. This test fails on the pre-fix engine (the query
+  // completes as if no budget were set).
+  const Workload& w = SharedWorkload();  // M(3,2): no interior node
+  const QueryEngine engine(w.graph);
+  for (QueryMode mode : {QueryMode::kCount, QueryMode::kEnumerate}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    QueryOptions options;
+    options.mode = mode;
+    options.delta = w.delta;
+    options.budget.max_window_elements = 1;
+
+    const QueryResult result = engine.Run(w.motif, options);
+    EXPECT_EQ(result.termination.code, TerminationCode::kBudgetExceeded)
+        << result.termination.ToString();
+    EXPECT_EQ(result.termination.stopped_at, failpoint::kCacheWindows);
+
+    options.budget = WorkBudget();
+    const QueryResult clean = engine.Run(w.motif, options);
+    EXPECT_TRUE(clean.termination.complete());
+    EXPECT_GT(clean.stats.num_structural_matches, 0);
+  }
+}
+
+TEST_F(FaultInjectionTest, TopKStatsDeterministicAcrossExecutionConfigs) {
+  // Regression: kTopK's num_instances used to count emissions that
+  // survived the floating threshold — an execution-dependent number
+  // (batch-local thresholds tighten at different rates), so it
+  // diverged between the control-active batched path and the serial
+  // shared-threshold path. It now always equals topk.size(), with the
+  // raw survivor/prune activity quarantined in num_pruning_probes.
+  // This test fails on the pre-fix engine at batch_size = 1 with a
+  // control active.
+  const Workload& w = SharedWorkload();
+  const QueryEngine engine(w.graph);
+  QueryOptions base;
+  base.mode = QueryMode::kTopK;
+  base.delta = w.delta;
+  base.k = 5;
+
+  const QueryResult reference = engine.Run(w.motif, base);
+  ASSERT_TRUE(reference.termination.complete());
+  ASSERT_FALSE(reference.topk.empty());
+  EXPECT_EQ(reference.stats.num_instances,
+            static_cast<int64_t>(reference.topk.size()));
+  EXPECT_EQ(reference.stats.num_phi_prunes, 0);
+
+  for (int threads : {1, 4}) {
+    for (int64_t batch_size : {int64_t{1}, int64_t{0}}) {
+      for (bool with_control : {false, true}) {
+        QueryOptions o = base;
+        o.num_threads = threads;
+        o.batch_size = batch_size;
+        if (with_control) {
+          // A generous deadline activates the control without ever
+          // tripping, forcing the batch-local TopKRunLocal path.
+          o.deadline = QueryDeadline::AfterSeconds(3600.0);
+        }
+        const QueryResult r = engine.Run(w.motif, o);
+        ASSERT_TRUE(r.termination.complete());
+        ExpectSamePayload(r, reference,
+                          "threads=" + std::to_string(threads) +
+                              " batch=" + std::to_string(batch_size) +
+                              " control=" + std::to_string(with_control));
+      }
+    }
+  }
+}
+
+TEST(QueryControlBoundaryTest, BoundaryCheckReadsClockUnthrottled) {
+  // Regression: every deadline read used to go through the 1-in-64
+  // check throttle, so a batch of dense matches could burn a whole
+  // throttle window past the deadline before any check noticed. The
+  // batch-boundary check reads the clock unconditionally; the throttled
+  // per-match checks in between are allowed to miss the expiry.
+  QueryControl control(nullptr, QueryDeadline::AfterMillis(50), WorkBudget());
+  // Check #0 is the throttle's scheduled clock read: not yet expired.
+  EXPECT_FALSE(control.CheckAt(failpoint::kP2Batch));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // Throttled checks 1..32 skip the clock: the expiry goes unnoticed —
+  // the pre-fix behaviour this test pins down.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_FALSE(control.CheckAt(failpoint::kP2Batch)) << "check " << i;
+  }
+  // The boundary check reads the clock unconditionally and stops.
+  EXPECT_TRUE(control.CheckAtBoundary(failpoint::kP2Batch));
+  const Termination t = control.Finish(0);
+  EXPECT_EQ(t.code, TerminationCode::kDeadlineExceeded);
+  EXPECT_EQ(t.stopped_at, failpoint::kP2Batch);
 }
 
 TEST_F(FaultInjectionTest, ExpiredDeadlineStopsBeforeWork) {
