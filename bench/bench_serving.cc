@@ -16,6 +16,24 @@
 //    percentiles ride along as counters (p50_ms / p99_ms) computed
 //    from each submission's ServedResult.total_seconds; tier_hit_rate
 //    reports the cross-query tier's steady-state effectiveness.
+//  * BM_ServeSealUnderLoad — per iteration: a query in flight, a burst
+//    of appends, a SealEpoch, and a post-seal query. The row is the
+//    cost of publishing a new epoch under live traffic (extend-build +
+//    tier sweep + result-cache invalidation + the post-seal query on a
+//    cold result cache).
+//  * BM_ServeTierAcrossSeals — appends touch one hot pair per seal, so
+//    the rest of the tier must stay warm: tier_hit_rate near 1 is the
+//    gated claim that epoch-stamped identity keys survive seals.
+//  * BM_ServeLongMixed_TierGenerational vs _TierSaturating — a mixed
+//    workload over a deliberately undersized tier (1024 entries per
+//    generation, under the workload's pair working set): the
+//    generational clock rotates and then retains the re-touched
+//    working set across two generations, where the saturating tier
+//    freezes on whatever filled it first and serves the rest cold.
+//
+// The completed-result cache is off in every row that re-submits an
+// identical query — these rows measure the execution path, and a
+// result-cache hit would short-circuit it.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -88,6 +106,7 @@ void RunRepeatedCount(benchmark::State& state, bool tier_on) {
   config.num_workers = 1;
   config.enable_cache_tier = tier_on;
   config.enable_dedup = false;
+  config.enable_result_cache = false;  // repeats must re-execute
   QueryService service(ServingGraph(), config);
   const Motif motif = *MotifCatalog::ByName("M(3,2)");
 
@@ -137,7 +156,8 @@ BENCHMARK(BM_DirectEngineCount);
 void BM_ServeMixedConcurrent(benchmark::State& state) {
   ServiceConfig config;
   config.num_workers = 4;
-  config.enable_dedup = false;  // every submission is a real run
+  config.enable_dedup = false;         // every submission is a real run
+  config.enable_result_cache = false;  // idem across iterations
   QueryService service(ServingGraph(), config);
 
   struct Case {
@@ -180,6 +200,146 @@ void BM_ServeMixedConcurrent(benchmark::State& state) {
   ReportTierHitRate(state, service);
 }
 BENCHMARK(BM_ServeMixedConcurrent)->UseRealTime();
+
+// ---------------------------------------------------------------------
+// Live serving: seal latency under load, tier warmth across seals, and
+// the generational-vs-saturating tier ablation. The log grows with
+// every seal, so the seal rows rebuild the service every kRebuildEvery
+// iterations (untimed) to keep the measured graph size bounded.
+
+constexpr int kRebuildEvery = 64;
+
+void BM_ServeSealUnderLoad(benchmark::State& state) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.enable_dedup = false;
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  const Timestamp base_t = ServingGraph().ComputeStats().max_time;
+
+  std::unique_ptr<QueryService> service;
+  Timestamp next_t = base_t;
+  int since_rebuild = kRebuildEvery;
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    if (since_rebuild == kRebuildEvery) {
+      state.PauseTiming();
+      service = std::make_unique<QueryService>(ServingGraph(), config);
+      next_t = base_t;
+      since_rebuild = 0;
+      state.ResumeTiming();
+    }
+    // A query is in flight on one worker while the writer appends,
+    // seals, and serves a post-seal query — the seal-under-load shape.
+    std::future<ServedResult> inflight =
+        service->Submit(MakeRequest(motif, CountOptions()));
+    for (int i = 0; i < 8; ++i) {
+      const Status s = service->Append(i % 16, (i + 1) % 16, next_t++, 1.0);
+      if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    }
+    const EpochLog::SealInfo info = service->SealEpoch();
+    benchmark::DoNotOptimize(info.epoch);
+    const ServedResult post =
+        service->Submit(MakeRequest(motif, CountOptions())).get();
+    benchmark::DoNotOptimize(post.result->termination.code);
+    latencies.push_back(post.total_seconds);
+    inflight.get();
+    ++since_rebuild;
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportLatencyCounters(state, &latencies);
+}
+BENCHMARK(BM_ServeSealUnderLoad)->UseRealTime();
+
+void BM_ServeTierAcrossSeals(benchmark::State& state) {
+  // Each iteration dirties exactly one pair, seals, and re-runs the
+  // same query: every series but the hot pair keeps its storage
+  // identity, so the tier should answer almost every lookup —
+  // tier_hit_rate is the row's claim.
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.enable_dedup = false;
+  config.enable_result_cache = false;  // the repeat must re-execute
+  const Motif motif = *MotifCatalog::ByName("M(3,2)");
+  const Timestamp base_t = ServingGraph().ComputeStats().max_time;
+
+  std::unique_ptr<QueryService> service;
+  Timestamp next_t = base_t;
+  int since_rebuild = kRebuildEvery;
+  for (auto _ : state) {
+    if (since_rebuild == kRebuildEvery) {
+      state.PauseTiming();
+      service = std::make_unique<QueryService>(ServingGraph(), config);
+      next_t = base_t;
+      service->Submit(MakeRequest(motif, CountOptions())).get();  // warm-up
+      since_rebuild = 0;
+      state.ResumeTiming();
+    }
+    const Status s = service->Append(0, 1, next_t++, 1.0);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    const EpochLog::SealInfo info = service->SealEpoch();
+    benchmark::DoNotOptimize(info.epoch);
+    const ServedResult served =
+        service->Submit(MakeRequest(motif, CountOptions())).get();
+    benchmark::DoNotOptimize(served.result->stats.num_instances);
+    ++since_rebuild;
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportTierHitRate(state, *service);
+}
+BENCHMARK(BM_ServeTierAcrossSeals);
+
+// Long-lived mixed workload over a deliberately tiny tier: the
+// generational clock keeps admitting the working set's recent pairs
+// where a saturating tier freezes on whatever filled it first.
+void RunLongMixed(benchmark::State& state, bool generational) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.enable_dedup = false;
+  config.enable_result_cache = false;
+  config.tier_max_entries = 1024;
+  config.tier_generational = generational;
+  QueryService service(ServingGraph(), config);
+
+  struct Case {
+    const char* motif_name;
+    QueryMode mode;
+  };
+  const std::vector<Case> cases = {
+      {"M(3,2)", QueryMode::kCount}, {"M(3,3)", QueryMode::kCount},
+      {"M(5,4)", QueryMode::kCount}, {"M(3,2)", QueryMode::kTop1},
+      {"M(5,4)", QueryMode::kTop1},
+  };
+
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    for (const Case& c : cases) {
+      QueryOptions options = CountOptions();
+      options.mode = c.mode;
+      const ServedResult served =
+          service.Submit(MakeRequest(*MotifCatalog::ByName(c.motif_name),
+                                     options))
+              .get();
+      benchmark::DoNotOptimize(served.result->termination.code);
+      latencies.push_back(served.total_seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cases.size()));
+  ReportLatencyCounters(state, &latencies);
+  ReportTierHitRate(state, service);
+  state.counters["tier_rotations"] =
+      static_cast<double>(service.Stats().tier_rotations);
+}
+
+void BM_ServeLongMixed_TierGenerational(benchmark::State& state) {
+  RunLongMixed(state, /*generational=*/true);
+}
+BENCHMARK(BM_ServeLongMixed_TierGenerational);
+
+void BM_ServeLongMixed_TierSaturating(benchmark::State& state) {
+  RunLongMixed(state, /*generational=*/false);
+}
+BENCHMARK(BM_ServeLongMixed_TierSaturating);
 
 }  // namespace
 }  // namespace flowmotif

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/motif.h"
@@ -208,7 +211,29 @@ class WindowListMru {
 /// held across seals keeps hitting for series untouched by the seal,
 /// misses (never aliases) for resealed dirty series, and stays immune
 /// to freed-storage address reuse.
+///
+/// Generational mode (MakeGenerational) is the long-lived-tier variant:
+/// instead of one saturating entry pool it keeps a two-generation clock
+/// (current + previous). A saturated insert *rotates* — previous is
+/// dropped from the publication path, current becomes previous, a fresh
+/// current takes inserts — so a tier that outlives any single workload
+/// keeps admitting recent pairs instead of freezing on its first
+/// max_entries. Hits in the previous generation are promoted (copied)
+/// into the current one, which is what makes it a clock: an entry
+/// survives rotation iff it was touched during the current generation's
+/// lifetime. Published pointers stay valid because generations are
+/// shared_ptr-owned and readers access them only through a TierLease
+/// that retains every generation it ever served pointers from — a
+/// dropped generation is freed when the last leased reader drains, not
+/// at rotation. Plain Get() is for non-generational caches only;
+/// generational readers go through AcquireTierLease + LeasedGet (the
+/// per-query cache does this automatically in set_fallback_tier / its
+/// tier fallthrough).
 class SharedWindowCache {
+ private:
+  struct Node;
+  struct Generation;
+
  public:
   static constexpr size_t kDefaultMaxEntries = 1024;
 
@@ -218,6 +243,40 @@ class SharedWindowCache {
   ~SharedWindowCache();
   SharedWindowCache(const SharedWindowCache&) = delete;
   SharedWindowCache& operator=(const SharedWindowCache&) = delete;
+
+  /// A generational-replacement cache holding at most
+  /// `max_entries_per_generation` entries per generation (so up to 2x
+  /// that total between rotations). Readers must use AcquireTierLease +
+  /// LeasedGet; plain Get() aborts. Intended for the serving layer's
+  /// cross-query tier — per-query caches stay non-generational (their
+  /// lifetime is one query; saturation is the cheaper discipline).
+  static std::unique_ptr<SharedWindowCache> MakeGenerational(
+      Timestamp delta,
+      size_t max_entries_per_generation = kDefaultMaxEntries);
+
+  /// A reader's pin on the generations it may receive pointers from.
+  /// Movable, not copyable; destroying the lease (after every pointer
+  /// obtained through it is dead) is what lets dropped generations free.
+  /// One lease is single-reader state — guard it externally if shared
+  /// across threads (the per-query cache does).
+  class TierLease {
+   public:
+    TierLease() = default;
+    TierLease(TierLease&&) noexcept = default;
+    TierLease& operator=(TierLease&&) noexcept = default;
+    TierLease(const TierLease&) = delete;
+    TierLease& operator=(const TierLease&) = delete;
+
+    bool active() const { return cur_ != nullptr; }
+
+   private:
+    friend class SharedWindowCache;
+    std::shared_ptr<Generation> cur_;
+    std::shared_ptr<Generation> prev_;
+    /// Generations this lease handed out pointers from and has since
+    /// moved past (rotation refreshes). Kept alive until the lease dies.
+    std::vector<std::shared_ptr<Generation>> retained_;
+  };
 
   /// Returns the processed-window list for (first, last), computing and
   /// publishing it on first request. Returns nullptr when the cache is
@@ -230,12 +289,49 @@ class SharedWindowCache {
   /// accounting on this call (a cross-query tier serves many controls
   /// at once, so the per-query control must ride the call, not the
   /// cache); null falls back to set_query_control's pointer.
+  ///
+  /// Non-generational caches only — generational readers hold a
+  /// TierLease and call LeasedGet (checked).
   const std::vector<Window>* Get(const EdgeSeries& first,
                                  const EdgeSeries& last,
                                  QueryControl* charge = nullptr);
 
+  /// Opens a lease on the current generation pair. Generational caches
+  /// only (checked). Cheap: two shared_ptr copies under the rotation
+  /// lock.
+  TierLease AcquireTierLease();
+
+  /// Generational-mode Get through `lease`: hit in the leased current
+  /// generation, else hit-and-promote from the leased previous one,
+  /// else compute and insert — rotating generations (and refreshing the
+  /// lease) when the current generation is saturated, so a long-lived
+  /// tier never stops admitting. Returns nullptr only when
+  /// max_entries() == 0. Pointer validity matches the lease's lifetime,
+  /// not the cache's generations.
+  const std::vector<Window>* LeasedGet(TierLease* lease,
+                                       const EdgeSeries& first,
+                                       const EdgeSeries& last,
+                                       QueryControl* charge = nullptr);
+
+  /// Rebuilds the generation pair keeping only entries whose two
+  /// storage identities satisfy `live` (generational caches only,
+  /// checked). The serving layer calls this after a seal with "is this
+  /// identity reachable from the live snapshot", so entries keyed on
+  /// resealed (freed) storage can never be served to a post-seal query
+  /// and tier memory does not grow monotonically across seals.
+  /// Existing leases keep their old generations (and pointer validity)
+  /// until they drain; entries inserted concurrently with the sweep may
+  /// be lost (recomputed on next request), never corrupted.
+  void SweepGenerations(const std::function<bool(const StorageIdentity&)>& live);
+
   Timestamp delta() const { return delta_; }
   size_t max_entries() const { return max_entries_; }
+  bool generational() const { return generational_; }
+
+  /// Number of generation rotations saturated inserts have forced.
+  int64_t num_rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches the owning query's lifecycle control: every window list
   /// this cache computes is charged against the control's WorkBudget
@@ -253,8 +349,11 @@ class SharedWindowCache {
   /// privately computed ones: both come out of ComputeProcessedWindows
   /// on the same timestamp storage, and tier entries are insert-only
   /// and identity-keyed exactly like ours. Call before handing the
-  /// cache to workers.
-  void set_fallback_tier(SharedWindowCache* tier) { tier_ = tier; }
+  /// cache to workers. A generational tier is read through a lease this
+  /// call acquires, so every pointer the tier serves this query stays
+  /// valid until this (per-query) cache is destroyed even if the tier
+  /// rotates or sweeps underneath.
+  void set_fallback_tier(SharedWindowCache* tier);
   bool has_fallback_tier() const { return tier_ != nullptr; }
 
   /// True when this cache is intended to serve several graphs sharing
@@ -262,8 +361,10 @@ class SharedWindowCache {
   bool cross_graph() const { return cross_graph_; }
 
   /// Number of reserved entry slots (== published entries once all
-  /// in-flight inserts finish). Never exceeds max_entries().
-  size_t size() const { return size_.load(std::memory_order_acquire); }
+  /// in-flight inserts finish). Never exceeds max_entries() for a
+  /// non-generational cache, 2 * max_entries() for a generational one
+  /// (current + previous generation).
+  size_t size() const;
 
   /// Lookup / hit counters (relaxed; exact once concurrent Gets
   /// drained). A fallthrough that the tier answers counts as a miss
@@ -274,23 +375,49 @@ class SharedWindowCache {
   int64_t num_hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
-  struct Node {
-    StorageIdentity first_id;
-    StorageIdentity last_id;
-    std::vector<Window> windows;
-    Node* next;
-  };
+  SharedWindowCache(Timestamp delta, size_t max_entries, bool cross_graph,
+                    bool generational);
 
-  size_t BucketOf(const StorageIdentity& first_id,
-                  const StorageIdentity& last_id) const;
+  /// Finds the published entry for the pair in `gen`, or null.
+  static Node* FindIn(const Generation& gen, const StorageIdentity& first_id,
+                      const StorageIdentity& last_id);
+  /// Reserves one entry slot in `gen`; false when saturated.
+  static bool TryReserve(Generation* gen);
+  /// Publishes an already-reserved `node` into `gen`, resolving racing
+  /// same-key inserts (loser is deleted, winner's list returned).
+  static const std::vector<Window>* InsertReserved(Generation* gen,
+                                                   Node* node);
+  /// Rotates if `lease` saw the newest generation saturated, then
+  /// refreshes the lease to the cache's current generation pair
+  /// (retaining the generations the lease moves past).
+  void Rotate(TierLease* lease);
 
   const Timestamp delta_;
   const size_t max_entries_;
   const bool cross_graph_;
+  const bool generational_;
   QueryControl* control_ = nullptr;  // budget charging; may be null
   SharedWindowCache* tier_ = nullptr;  // cross-query fallthrough; may be null
-  std::vector<std::atomic<Node*>> buckets_;
-  std::atomic<size_t> size_{0};
+
+  /// Non-generational storage: one fixed saturating generation, alive
+  /// for the cache's lifetime (what keeps plain Get's pointers valid).
+  std::unique_ptr<Generation> base_;
+
+  /// Generational storage: the rotation lock guards only the pair of
+  /// generation pointers — lookups and inserts inside a generation stay
+  /// lock-free exactly as in the non-generational case.
+  mutable std::mutex gen_mu_;
+  std::shared_ptr<Generation> cur_;
+  std::shared_ptr<Generation> prev_;
+  std::atomic<int64_t> rotations_{0};
+
+  /// This cache's lease on its own fallback tier (generational tiers
+  /// only). Guarded: a solo multithreaded run shares one per-query
+  /// cache across workers; the serving layer runs queries
+  /// single-threaded so the lock is uncontended there.
+  std::mutex tier_lease_mu_;
+  TierLease tier_lease_;
+
   std::atomic<int64_t> lookups_{0};
   std::atomic<int64_t> hits_{0};
 };

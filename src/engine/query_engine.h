@@ -129,7 +129,16 @@ struct SweepResult {
 /// equivalence property test locks this in.
 ///
 /// Thread-compatible: one engine may serve concurrent Run calls, since
-/// all mutable state is per-call.
+/// all mutable state is per-call. The engine itself is a stateless
+/// view over the graph reference and so is cheap to construct — the
+/// serving layer (DESIGN.md Sec. 11) builds one per admitted request
+/// on the stack, bound to the epoch snapshot captured at admission, so
+/// queries keep running against their snapshot while SealEpoch
+/// publishes new ones. Per-query window caches fall through to the
+/// cross-query tier named by QueryOptions::shared_cache_tier; when
+/// that tier is generational, the per-query cache holds a TierLease
+/// for its lifetime, so every pointer the tier served this query
+/// outlives any concurrent rotation or post-seal sweep.
 class QueryEngine {
  public:
   explicit QueryEngine(const TimeSeriesGraph& graph) : graph_(graph) {}

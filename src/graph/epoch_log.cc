@@ -25,6 +25,25 @@ EpochLog::EpochLog(const InteractionGraph& seed)
   snapshot_ = std::move(graph);
 }
 
+EpochLog::EpochLog(TimeSeriesGraph seed)
+    : watermark_(std::numeric_limits<Timestamp>::min()) {
+  num_vertices_ = seed.num_vertices();
+  auto graph = std::make_shared<const TimeSeriesGraph>(std::move(seed));
+  TimeSeriesGraph::Stats stats = graph->ComputeStats();
+  if (stats.num_interactions > 0) {
+    watermark_ = stats.max_time;
+    empty_ = false;
+  }
+  // Adopt the seed's epoch stamps: if the graph came out of another
+  // log's ExtendWith chain, future seals here must stamp strictly
+  // larger epochs so StorageIdentity keys can never alias across the
+  // handoff.
+  for (const TimeSeriesGraph::PairEdge& pair : graph->pairs()) {
+    epoch_ = std::max(epoch_, pair.series.timestamp_identity().epoch);
+  }
+  snapshot_ = std::move(graph);
+}
+
 Status EpochLog::Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
   // Validate everything before mutating anything: a rejected edge must
   // leave the tail (and the watermark) exactly as it found them.

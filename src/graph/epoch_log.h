@@ -68,6 +68,11 @@ class EpochLog {
   /// Seeds epoch 0 with a static multigraph snapshot.
   explicit EpochLog(const InteractionGraph& seed);
 
+  /// Seeds epoch 0 with an already-built snapshot, adopting it without
+  /// a rebuild (the serving layer fronts a caller-provided graph this
+  /// way). The graph's own epoch stamps are preserved.
+  explicit EpochLog(TimeSeriesGraph seed);
+
   /// Buffers one edge in the mutable tail. Vertices grow on demand.
   /// Ingest is an untrusted boundary, so bad edges are rejected with
   /// InvalidArgument — negative vertex ids, non-positive flow, or a

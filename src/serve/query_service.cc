@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
 #include "util/failpoint.h"
@@ -35,6 +36,14 @@ void AppendInt(std::string* key, int64_t value) {
   key->append(std::to_string(value));
 }
 
+struct IdentityHash {
+  size_t operator()(const StorageIdentity& id) const {
+    const size_t h = std::hash<const void*>()(id.storage);
+    return h ^ (std::hash<size_t>()(id.epoch) + 0x9e3779b9u + (h << 6) +
+                (h >> 2));
+  }
+};
+
 }  // namespace
 
 struct QueryService::Pending {
@@ -44,8 +53,16 @@ struct QueryService::Pending {
   ServeRequest request;
   std::promise<ServedResult> promise;
   SteadyClock::time_point submit_time;
+  /// The snapshot live at Submit; the run executes against it even if
+  /// a seal swaps the published graph while this request queues (the
+  /// shared_ptr keeps it alive — "admission-time snapshot" semantics).
+  std::shared_ptr<const TimeSeriesGraph> snapshot;
+  EpochId epoch = 0;
   /// Non-empty iff this request owns an inflight_ dedup entry.
   std::string dedup_key;
+  /// Non-empty iff this request's completed result should be published
+  /// to the result cache (same key as dedup, epoch-qualified).
+  std::string result_key;
 };
 
 struct QueryService::Inflight {
@@ -53,18 +70,31 @@ struct QueryService::Inflight {
       followers;
 };
 
+struct QueryService::CachedResult {
+  std::shared_ptr<const QueryResult> result;
+  /// The producing run's admission sequence, reported by cache hits.
+  int64_t sequence = -1;
+};
+
+struct QueryService::ExpiredEntry {
+  std::shared_ptr<Pending> pending;
+  std::vector<std::pair<std::promise<ServedResult>, SteadyClock::time_point>>
+      followers;
+};
+
 QueryService::QueryService(TimeSeriesGraph graph, ServiceConfig config)
-    : graph_(std::move(graph)),
-      config_(std::move(config)),
+    : config_(std::move(config)),
       max_concurrent_(config_.max_concurrent > 0
                           ? config_.max_concurrent
                           : ResolveWorkers(config_.num_workers)),
-      engine_(graph_),
+      log_(std::move(graph)),
+      live_graph_(log_.Snapshot()),
+      live_epoch_(log_.epoch()),
       pool_(ResolveWorkers(config_.num_workers)) {}
 
 QueryService::~QueryService() {
   // Drain: every admitted request (running or queued) completes before
-  // the members it uses (engine, tiers, graph) go away. New Submits
+  // the members it uses (log, tiers, snapshots) go away. New Submits
   // during destruction are a caller contract violation, as usual.
   std::unique_lock<std::mutex> lock(mu_);
   drained_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
@@ -74,21 +104,77 @@ QueryService::~QueryService() {
   pool_.Wait();
 }
 
+Status QueryService::Append(VertexId src, VertexId dst, Timestamp t, Flow f) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_.Append(src, dst, t, f);
+}
+
+EpochLog::SealInfo QueryService::SealEpoch() {
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  EpochLog::SealInfo info = log_.SealEpoch();
+  if (info.num_appended == 0) {
+    // No-op seal: nothing changed, so nothing is invalidated — the
+    // result cache and tier entries stay exactly as warm as they were.
+    return info;
+  }
+
+  // Identities reachable from the new live snapshot. Series untouched
+  // by the seal kept their storage (and epoch stamp), so their tier
+  // entries survive; resealed dirty series got fresh storage, so their
+  // old entries fail this test and are swept.
+  std::unordered_set<StorageIdentity, IdentityHash> live;
+  live.reserve(static_cast<size_t>(info.graph->num_pairs()));
+  for (const TimeSeriesGraph::PairEdge& pair : info.graph->pairs()) {
+    live.insert(pair.series.timestamp_identity());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  live_graph_ = info.graph;
+  live_epoch_ = info.epoch;
+  ++stats_.seals;
+  // Completed results describe the pre-seal snapshot; epoch-qualified
+  // keys already prevent false hits, clearing also reclaims the memory.
+  result_cache_.clear();
+  for (const auto& tier : tiers_) {
+    if (tier.second->generational()) {
+      tier.second->SweepGenerations([&live](const StorageIdentity& id) {
+        return live.count(id) > 0;
+      });
+    }
+  }
+  return info;
+}
+
+std::shared_ptr<const TimeSeriesGraph> QueryService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_graph_;
+}
+
+EpochId QueryService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_epoch_;
+}
+
 SharedWindowCache* QueryService::TierForDeltaLocked(Timestamp delta) {
   std::unique_ptr<SharedWindowCache>& slot = tiers_[delta];
   if (slot == nullptr) {
     // The tier carries no query control of its own: budget charges ride
     // each Get call (the per-query control), since one tier serves many
     // concurrent queries.
-    slot = std::make_unique<SharedWindowCache>(delta, config_.tier_max_entries,
-                                               /*cross_graph=*/false);
+    slot = config_.tier_generational
+               ? SharedWindowCache::MakeGenerational(delta,
+                                                     config_.tier_max_entries)
+               : std::make_unique<SharedWindowCache>(
+                     delta, config_.tier_max_entries, /*cross_graph=*/false);
   }
   return slot.get();
 }
 
 std::string QueryService::DedupKey(const Motif& motif,
-                                   const QueryOptions& options) {
+                                   const QueryOptions& options,
+                                   EpochId epoch) {
   std::string key = motif.PathString();
+  AppendInt(&key, static_cast<int64_t>(epoch));
   AppendInt(&key, static_cast<int64_t>(options.mode));
   AppendInt(&key, options.delta);
   AppendDoubleBits(&key, options.phi);
@@ -108,11 +194,37 @@ int64_t QueryService::StartLocked(const Pending& pending) {
 }
 
 void QueryService::AdmitFromQueueLocked(
-    std::vector<std::pair<std::shared_ptr<Pending>, int64_t>>* started) {
+    std::vector<std::pair<std::shared_ptr<Pending>, int64_t>>* started,
+    std::vector<ExpiredEntry>* expired) {
   const int64_t cap = config_.per_tenant_max_running;
-  for (auto it = queue_.begin();
-       it != queue_.end() && running_ < max_concurrent_;) {
-    const std::string& tenant = (*it)->request.tenant;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    std::shared_ptr<Pending>& entry = *it;
+    // A queued request whose Submit-anchored deadline already passed is
+    // dead: resolve it here (kDeadlineExceeded at "serve.admit") and
+    // never hand it a run slot — under overload, dead requests must not
+    // displace live ones. Checked for every queue entry on every
+    // rescan, even when the run caps are exhausted, so expiry is
+    // detected no later than the next completion.
+    if (entry->request.options.deadline.Expired()) {
+      ExpiredEntry dead;
+      dead.pending = std::move(entry);
+      if (!dead.pending->dedup_key.empty()) {
+        const auto inflight = inflight_.find(dead.pending->dedup_key);
+        if (inflight != inflight_.end()) {
+          dead.followers = std::move(inflight->second->followers);
+          inflight_.erase(inflight);
+        }
+      }
+      ++stats_.expired_in_queue;
+      expired->push_back(std::move(dead));
+      it = queue_.erase(it);
+      continue;
+    }
+    if (running_ >= max_concurrent_) {
+      ++it;
+      continue;
+    }
+    const std::string& tenant = entry->request.tenant;
     if (cap > 0) {
       const auto t = tenant_running_.find(tenant);
       if (t != tenant_running_.end() && t->second >= cap) {
@@ -122,9 +234,37 @@ void QueryService::AdmitFromQueueLocked(
         continue;
       }
     }
-    std::shared_ptr<Pending> pending = *it;
+    std::shared_ptr<Pending> pending = std::move(entry);
     it = queue_.erase(it);
     started->emplace_back(pending, StartLocked(*pending));
+  }
+}
+
+void QueryService::FulfillExpired(ExpiredEntry* entry) {
+  const SteadyClock::time_point now = SteadyClock::now();
+  auto dead = std::make_shared<QueryResult>();
+  dead->mode = entry->pending->request.options.mode;
+  dead->termination.code = TerminationCode::kDeadlineExceeded;
+  dead->termination.stopped_at = failpoint::kServeAdmit;
+  dead->termination.detail = "deadline expired while queued";
+  dead->termination.work_completed = 0;
+  const std::shared_ptr<const QueryResult> shared = std::move(dead);
+
+  ServedResult served;
+  served.result = shared;
+  served.epoch = entry->pending->epoch;
+  served.queue_seconds = SecondsBetween(entry->pending->submit_time, now);
+  served.total_seconds = served.queue_seconds;
+  entry->pending->promise.set_value(std::move(served));
+
+  for (auto& follower : entry->followers) {
+    ServedResult coalesced;
+    coalesced.result = shared;
+    coalesced.coalesced = true;
+    coalesced.epoch = entry->pending->epoch;
+    coalesced.queue_seconds = SecondsBetween(follower.second, now);
+    coalesced.total_seconds = coalesced.queue_seconds;
+    follower.first.set_value(std::move(coalesced));
   }
 }
 
@@ -132,9 +272,20 @@ std::future<ServedResult> QueryService::Submit(ServeRequest request) {
   const SteadyClock::time_point submit_time = SteadyClock::now();
   QueryOptions& options = request.options;
 
+  // Dedup / result-cache eligibility is decided on the caller-supplied
+  // options, BEFORE service defaults are stamped: a shared run cannot
+  // honor one caller's private token/deadline/budget, but the service's
+  // own defaults are identical across the coalesced set by construction
+  // (the shared run takes the earliest leader's anchor). Deciding after
+  // stamping would silently disable dedup whenever defaults are
+  // configured.
+  const bool lifecycle_free = options.cancel_token == nullptr &&
+                              !options.deadline.active() &&
+                              !options.budget.active();
+
   // Service defaults for requests that carry no lifecycle bounds. The
   // deadline anchors here, before any queue wait, so a request that
-  // queues past it stops at "engine.start" without doing work.
+  // queues past it resolves at "serve.admit" without doing work.
   if (!options.deadline.active() && config_.default_deadline_seconds > 0.0) {
     options.deadline =
         QueryDeadline::AfterSeconds(config_.default_deadline_seconds);
@@ -169,6 +320,7 @@ std::future<ServedResult> QueryService::Submit(ServeRequest request) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.submitted;
         ++stats_.rejected;
+        served.epoch = live_epoch_;
       }
       pending->promise.set_value(std::move(served));
       return future;
@@ -176,48 +328,80 @@ std::future<ServedResult> QueryService::Submit(ServeRequest request) {
   }
 
   bool rejected = false;
+  bool cache_hit = false;
+  ServedResult cached;
   std::vector<std::pair<std::shared_ptr<Pending>, int64_t>> started;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
+
+    // Capture the live snapshot: this request runs against it no
+    // matter how many seals happen while it queues.
+    pending->snapshot = live_graph_;
+    pending->epoch = live_epoch_;
 
     if (config_.enable_cache_tier && opts.delta > 0 &&
         opts.shared_cache_tier == nullptr) {
       opts.shared_cache_tier = TierForDeltaLocked(opts.delta);
     }
 
-    // In-flight dedup. Only requests without per-request lifecycle
-    // state are eligible: a shared run could not honor one caller's
-    // token/deadline/budget without affecting the others.
-    if (config_.enable_dedup && opts.cancel_token == nullptr &&
-        !opts.deadline.active() && !opts.budget.active()) {
-      std::string key = DedupKey(pending->request.motif, opts);
-      const auto it = inflight_.find(key);
-      if (it != inflight_.end()) {
-        ++stats_.coalesced;
-        it->second->followers.emplace_back(std::move(pending->promise),
-                                           submit_time);
-        return future;
+    if (lifecycle_free &&
+        (config_.enable_dedup || config_.enable_result_cache)) {
+      std::string key = DedupKey(pending->request.motif, opts, pending->epoch);
+
+      // Completed-result cache first: a finished identical run on this
+      // very epoch answers immediately, no engine run, no queue slot.
+      if (config_.enable_result_cache) {
+        const auto hit = result_cache_.find(key);
+        if (hit != result_cache_.end()) {
+          ++stats_.result_cache_hits;
+          cached.result = hit->second.result;
+          cached.from_result_cache = true;
+          cached.admission_sequence = hit->second.sequence;
+          cached.epoch = pending->epoch;
+          cache_hit = true;
+        } else {
+          pending->result_key = key;
+        }
       }
-      inflight_.emplace(key, std::make_shared<Inflight>());
-      pending->dedup_key = std::move(key);
+
+      // In-flight dedup: attach to an identical running/queued leader.
+      if (!cache_hit && config_.enable_dedup) {
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          ++stats_.coalesced;
+          it->second->followers.emplace_back(std::move(pending->promise),
+                                             submit_time);
+          return future;
+        }
+        inflight_.emplace(key, std::make_shared<Inflight>());
+        pending->dedup_key = std::move(key);
+      }
     }
 
-    const int64_t cap = config_.per_tenant_max_running;
-    const auto t = tenant_running_.find(pending->request.tenant);
-    const bool tenant_ok =
-        cap <= 0 || t == tenant_running_.end() || t->second < cap;
-    if (running_ < max_concurrent_ && tenant_ok) {
-      started.emplace_back(pending, StartLocked(*pending));
-    } else if (static_cast<int>(queue_.size()) < config_.max_queue_depth) {
-      queue_.push_back(pending);
-      const int64_t depth = static_cast<int64_t>(queue_.size());
-      if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
-    } else {
-      ++stats_.rejected;
-      rejected = true;
-      if (!pending->dedup_key.empty()) inflight_.erase(pending->dedup_key);
+    if (!cache_hit) {
+      const int64_t cap = config_.per_tenant_max_running;
+      const auto t = tenant_running_.find(pending->request.tenant);
+      const bool tenant_ok =
+          cap <= 0 || t == tenant_running_.end() || t->second < cap;
+      if (running_ < max_concurrent_ && tenant_ok) {
+        started.emplace_back(pending, StartLocked(*pending));
+      } else if (static_cast<int>(queue_.size()) < config_.max_queue_depth) {
+        queue_.push_back(pending);
+        const int64_t depth = static_cast<int64_t>(queue_.size());
+        if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
+      } else {
+        ++stats_.rejected;
+        rejected = true;
+        if (!pending->dedup_key.empty()) inflight_.erase(pending->dedup_key);
+      }
     }
+  }
+
+  if (cache_hit) {
+    cached.total_seconds = SecondsBetween(submit_time, SteadyClock::now());
+    pending->promise.set_value(std::move(cached));
+    return future;
   }
 
   if (rejected) {
@@ -230,6 +414,7 @@ std::future<ServedResult> QueryService::Submit(ServeRequest request) {
     ServedResult served;
     served.result = std::move(full);
     served.rejected = true;
+    served.epoch = pending->epoch;
     served.total_seconds = SecondsBetween(submit_time, SteadyClock::now());
     served.queue_seconds = served.total_seconds;
     pending->promise.set_value(std::move(served));
@@ -249,8 +434,12 @@ std::future<ServedResult> QueryService::Submit(ServeRequest request) {
 void QueryService::RunOne(std::shared_ptr<Pending> pending, int64_t sequence) {
   const SteadyClock::time_point run_start = SteadyClock::now();
   if (pending->request.on_start) pending->request.on_start();
+  // The engine binds to this request's captured snapshot — not the
+  // currently published one — so a seal mid-run changes nothing for
+  // this query, and the shared_ptr keeps the snapshot alive.
+  const QueryEngine engine(*pending->snapshot);
   QueryResult result =
-      engine_.Run(pending->request.motif, pending->request.options);
+      engine.Run(pending->request.motif, pending->request.options);
   const std::shared_ptr<const QueryResult> shared =
       std::make_shared<const QueryResult>(std::move(result));
   const SteadyClock::time_point run_end = SteadyClock::now();
@@ -258,6 +447,7 @@ void QueryService::RunOne(std::shared_ptr<Pending> pending, int64_t sequence) {
   std::vector<std::pair<std::promise<ServedResult>, SteadyClock::time_point>>
       followers;
   std::vector<std::pair<std::shared_ptr<Pending>, int64_t>> started;
+  std::vector<ExpiredEntry> expired;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
@@ -273,12 +463,24 @@ void QueryService::RunOne(std::shared_ptr<Pending> pending, int64_t sequence) {
         inflight_.erase(it);
       }
     }
-    AdmitFromQueueLocked(&started);
+    // Publish to the completed-result cache — only full results (a
+    // deadline-stopped partial must not answer a request that would
+    // have completed), and only while this run's epoch is still the
+    // live one (a seal between run and publish cleared the cache; a
+    // stale insert would leak a pre-seal result past its seal).
+    if (!pending->result_key.empty() && shared->termination.complete() &&
+        pending->epoch == live_epoch_ &&
+        result_cache_.size() < config_.result_cache_max_entries) {
+      result_cache_.emplace(pending->result_key,
+                            CachedResult{shared, sequence});
+    }
+    AdmitFromQueueLocked(&started, &expired);
     if (running_ == 0 && queue_.empty()) drained_.notify_all();
   }
 
   ServedResult served;
   served.result = shared;
+  served.epoch = pending->epoch;
   served.admission_sequence = sequence;
   served.queue_seconds = SecondsBetween(pending->submit_time, run_start);
   served.total_seconds = SecondsBetween(pending->submit_time, run_end);
@@ -288,11 +490,14 @@ void QueryService::RunOne(std::shared_ptr<Pending> pending, int64_t sequence) {
     ServedResult coalesced;
     coalesced.result = shared;
     coalesced.coalesced = true;
+    coalesced.epoch = pending->epoch;
     coalesced.admission_sequence = sequence;
     coalesced.queue_seconds = SecondsBetween(follower.second, run_start);
     coalesced.total_seconds = SecondsBetween(follower.second, run_end);
     follower.first.set_value(std::move(coalesced));
   }
+
+  for (ExpiredEntry& entry : expired) FulfillExpired(&entry);
 
   for (auto& entry : started) {
     std::shared_ptr<Pending> next = entry.first;
@@ -307,6 +512,7 @@ ServiceStats QueryService::Stats() const {
   for (const auto& tier : tiers_) {
     out.tier_lookups += tier.second->num_lookups();
     out.tier_hits += tier.second->num_hits();
+    out.tier_rotations += tier.second->num_rotations();
   }
   return out;
 }

@@ -8,6 +8,7 @@
 // stress test is a TSan target (see .github/workflows/ci.yml).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -146,7 +147,8 @@ TEST(ServingTest, ConcurrentMixedQueriesAreByteIdenticalToSoloRuns) {
   ServiceConfig config;
   config.num_workers = 4;
   config.max_concurrent = 4;
-  config.enable_dedup = false;  // every submission must really run
+  config.enable_dedup = false;        // every submission must really run
+  config.enable_result_cache = false;  // repeats across rounds included
   QueryService service(SharedGraph(), config);
 
   constexpr int kRounds = 3;
@@ -184,6 +186,7 @@ TEST(ServingTest, CacheTierServesRepeatedQueriesOfNonInteriorMotifs) {
   ServiceConfig config;
   config.num_workers = 1;  // serial, deterministic hit accounting
   config.enable_dedup = false;
+  config.enable_result_cache = false;  // the repeat must re-run (via tier)
   QueryService service(SharedGraph(), config);
 
   ServeRequest request{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
@@ -358,6 +361,159 @@ TEST(ServingTest, ConfigDefaultDeadlineCoversQueueWait) {
   };
   const ServedResult completed = service.Submit(std::move(generous)).get();
   EXPECT_TRUE(completed.result->termination.complete());
+}
+
+TEST(ServingTest, DedupSurvivesServiceDefaultLifecycleBounds) {
+  // Regression (PR 10): dedup eligibility must be decided on the
+  // caller-supplied options BEFORE service defaults are stamped.
+  // Pre-fix, configuring default_deadline_seconds / default_budget
+  // stamped every request with an active deadline/budget first, so the
+  // eligibility check rejected every request and dedup was silently
+  // disabled service-wide.
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.max_concurrent = 2;
+  config.default_deadline_seconds = 3600.0;  // generous: nothing expires
+  config.default_budget.max_matches = 1 << 30;
+  config.enable_result_cache = false;  // isolate in-flight dedup
+  QueryService service(SharedGraph(), config);
+
+  Gate gate;
+  ServeRequest leader{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  leader.options.mode = QueryMode::kCount;
+  leader.options.delta = SharedDelta();
+  leader.on_start = [&gate] { gate.Wait(); };
+  std::future<ServedResult> leader_future = service.Submit(std::move(leader));
+
+  // Identical caller options (no explicit lifecycle state): must attach
+  // to the in-flight leader even though both carry the service-default
+  // deadline + budget — those are identical across the coalesced set by
+  // construction, and the shared run takes the leader's earlier anchor.
+  ServeRequest follower{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  follower.options.mode = QueryMode::kCount;
+  follower.options.delta = SharedDelta();
+  std::future<ServedResult> follower_future =
+      service.Submit(std::move(follower));
+  gate.Open();
+
+  const ServedResult led = leader_future.get();
+  const ServedResult coalesced = follower_future.get();
+  ASSERT_TRUE(led.result->termination.complete());
+  EXPECT_TRUE(coalesced.coalesced);
+  EXPECT_EQ(coalesced.result.get(), led.result.get());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.completed, 1);  // one engine run served both
+
+  // An explicit per-request deadline still opts out: private lifecycle
+  // state is never shared.
+  Gate gate2;
+  ServeRequest gated{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  gated.options.mode = QueryMode::kCount;
+  gated.options.delta = SharedDelta();
+  gated.on_start = [&gate2] { gate2.Wait(); };
+  std::future<ServedResult> gated_future = service.Submit(std::move(gated));
+  ServeRequest private_deadline{*MotifCatalog::ByName("M(3,2)"),
+                                QueryOptions()};
+  private_deadline.options.mode = QueryMode::kCount;
+  private_deadline.options.delta = SharedDelta();
+  private_deadline.options.deadline = QueryDeadline::AfterSeconds(3600.0);
+  std::future<ServedResult> private_future =
+      service.Submit(std::move(private_deadline));
+  const ServedResult ran_alone = private_future.get();  // runs on worker 2
+  EXPECT_FALSE(ran_alone.coalesced);
+  gate2.Open();
+  EXPECT_TRUE(gated_future.get().result->termination.complete());
+  EXPECT_EQ(service.Stats().coalesced, 1);  // unchanged
+}
+
+TEST(ServingTest, QueuedRequestPastDeadlineResolvesAtAdmissionNotOnAWorker) {
+  // Regression (PR 10): a queued request whose Submit-anchored deadline
+  // expired must be resolved by the admission scan — kDeadlineExceeded
+  // at "serve.admit" — without ever occupying a worker. Pre-fix,
+  // AdmitFromQueueLocked never consulted the deadline: the dead request
+  // was dispatched, its on_start hook ran, and the engine reported the
+  // expiry at "engine.start" from a run slot a live request could have
+  // used.
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.max_concurrent = 1;
+  config.enable_dedup = false;
+  config.enable_result_cache = false;
+  QueryService service(SharedGraph(), config);
+
+  Gate gate;
+  ServeRequest blocker{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  blocker.options.mode = QueryMode::kCount;
+  blocker.options.delta = SharedDelta();
+  blocker.on_start = [&gate] { gate.Wait(); };
+  std::future<ServedResult> blocker_future = service.Submit(std::move(blocker));
+
+  std::atomic<bool> dead_request_started{false};
+  ServeRequest dead{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  dead.options.mode = QueryMode::kCount;
+  dead.options.delta = SharedDelta();
+  dead.options.deadline = QueryDeadline::AfterMillis(5);
+  dead.on_start = [&dead_request_started] { dead_request_started = true; };
+  std::future<ServedResult> dead_future = service.Submit(std::move(dead));
+
+  // Let the queued request's deadline lapse while the blocker holds the
+  // only run slot, then release the blocker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  gate.Open();
+
+  const ServedResult expired = dead_future.get();
+  EXPECT_EQ(expired.result->termination.code,
+            TerminationCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.result->termination.stopped_at, failpoint::kServeAdmit);
+  EXPECT_EQ(expired.result->termination.work_completed, 0);
+  EXPECT_EQ(expired.admission_sequence, -1);  // never started
+  EXPECT_FALSE(dead_request_started.load());  // never reached a worker
+
+  EXPECT_TRUE(blocker_future.get().result->termination.complete());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired_in_queue, 1);
+  EXPECT_EQ(stats.completed, 1);  // only the blocker ran
+}
+
+TEST(ServingTest, ResultCacheServesRepeatsAfterCompletion) {
+  ServiceConfig config;
+  config.num_workers = 1;  // serial: the repeat submits after completion
+  config.enable_dedup = false;
+  QueryService service(SharedGraph(), config);
+
+  ServeRequest request{*MotifCatalog::ByName("M(3,2)"), QueryOptions()};
+  request.options.mode = QueryMode::kCount;
+  request.options.delta = SharedDelta();
+
+  const ServedResult first = service.Submit(ServeRequest(request)).get();
+  ASSERT_TRUE(first.result->termination.complete());
+  EXPECT_FALSE(first.from_result_cache);
+
+  // Identical repeat after completion: answered from the cache — same
+  // shared result object, no second engine run, producer's sequence.
+  const ServedResult repeat = service.Submit(ServeRequest(request)).get();
+  EXPECT_TRUE(repeat.from_result_cache);
+  EXPECT_EQ(repeat.result.get(), first.result.get());
+  EXPECT_EQ(repeat.admission_sequence, first.admission_sequence);
+
+  // A result-affecting option change misses.
+  ServeRequest other(request);
+  other.options.mode = QueryMode::kTopK;
+  other.options.k = 3;
+  const ServedResult different = service.Submit(std::move(other)).get();
+  EXPECT_FALSE(different.from_result_cache);
+
+  // Private lifecycle state opts out of the cache, same as dedup.
+  ServeRequest bounded(request);
+  bounded.options.deadline = QueryDeadline::AfterSeconds(3600.0);
+  const ServedResult uncached = service.Submit(std::move(bounded)).get();
+  EXPECT_FALSE(uncached.from_result_cache);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.result_cache_hits, 1);
+  EXPECT_EQ(stats.completed, 3);  // first + different + uncached
 }
 
 TEST(ServingTest, AdmissionFailpointInjectsTermination) {

@@ -357,5 +357,217 @@ TEST(SharedWindowCacheTest, ConcurrentReadersUnderTinyCap) {
   }
 }
 
+TEST(SharedWindowCacheTest, GenerationalServesExactListsUnderForcedRotation) {
+  // A generational cache with a tiny per-generation cap is driven over a
+  // key population far larger than the cap: every answer must still be
+  // the exact uncached list, and the traffic must have forced rotations
+  // (a saturating cache would have declined instead).
+  const TimeSeriesGraph graph = RandomGraph(83, 6, 90, 50);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 7;
+  constexpr size_t kCap = 3;
+  ASSERT_GT(pairs.size(), 2 * kCap);
+
+  std::unique_ptr<SharedWindowCache> cache =
+      SharedWindowCache::MakeGenerational(kDelta, kCap);
+  EXPECT_TRUE(cache->generational());
+  SharedWindowCache::TierLease lease = cache->AcquireTierLease();
+  ASSERT_TRUE(lease.active());
+
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [first, last] : pairs) {
+      const std::vector<Window>* got = cache->LeasedGet(&lease, *first, *last);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, ComputeProcessedWindows(*first, *last, kDelta));
+    }
+  }
+  EXPECT_GT(cache->num_rotations(), 0);
+  // Between rotations at most two generations are published.
+  EXPECT_LE(cache->size(), 2 * kCap);
+}
+
+TEST(SharedWindowCacheTest, LeaseRetainsPointersAcrossRotations) {
+  // Every pointer LeasedGet ever returned stays valid — with its
+  // original contents — for the lease's whole lifetime, even after the
+  // generations that own those nodes rotate out of the publication
+  // path. This is the property the serving layer's per-query caches
+  // rely on when the shared tier rotates underneath a running query.
+  const TimeSeriesGraph graph = RandomGraph(89, 6, 90, 50);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 9;
+  constexpr size_t kCap = 2;
+
+  std::unique_ptr<SharedWindowCache> cache =
+      SharedWindowCache::MakeGenerational(kDelta, kCap);
+  SharedWindowCache::TierLease lease = cache->AcquireTierLease();
+
+  std::vector<const std::vector<Window>*> served;
+  served.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    served.push_back(cache->LeasedGet(&lease, *first, *last));
+    ASSERT_NE(served.back(), nullptr);
+  }
+  ASSERT_GT(cache->num_rotations(), 0);
+
+  // Re-verify every previously returned pointer after all rotations.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(*served[i], ComputeProcessedWindows(*pairs[i].first,
+                                                  *pairs[i].second, kDelta));
+  }
+}
+
+TEST(SharedWindowCacheTest, PromotedPrevHitSurvivesRotationUntouchedDoesNot) {
+  // The two-generation clock: an entry touched while in the previous
+  // generation is promoted into the current one and survives the next
+  // rotation; an untouched neighbor ages out and must be recomputed.
+  const TimeSeriesGraph graph = RandomGraph(31, 4, 50, 30);
+  ASSERT_GE(graph.num_pairs(), 4);
+  const EdgeSeries& target = graph.pair(0).series;
+  const EdgeSeries& filler_b = graph.pair(1).series;
+  const EdgeSeries& filler_c = graph.pair(2).series;
+  const EdgeSeries& filler_d = graph.pair(3).series;
+  constexpr Timestamp kDelta = 10;
+
+  std::unique_ptr<SharedWindowCache> cache =
+      SharedWindowCache::MakeGenerational(kDelta, /*max_entries=*/2);
+  SharedWindowCache::TierLease lease = cache->AcquireTierLease();
+
+  // Generation 1 fills with {target, B}; C saturates it and rotates.
+  ASSERT_NE(cache->LeasedGet(&lease, target, target), nullptr);
+  ASSERT_NE(cache->LeasedGet(&lease, filler_b, filler_b), nullptr);
+  ASSERT_NE(cache->LeasedGet(&lease, filler_c, filler_c), nullptr);
+  ASSERT_EQ(cache->num_rotations(), 1);
+
+  // Touch the target while it sits in the previous generation: a hit,
+  // promoted into the current one.
+  int64_t hits_before = cache->num_hits();
+  ASSERT_NE(cache->LeasedGet(&lease, target, target), nullptr);
+  EXPECT_EQ(cache->num_hits(), hits_before + 1);
+
+  // D saturates the current generation {C, target-copy} and rotates
+  // again; generation 1 (with untouched B) leaves the publication path.
+  ASSERT_NE(cache->LeasedGet(&lease, filler_d, filler_d), nullptr);
+  ASSERT_EQ(cache->num_rotations(), 2);
+
+  // The promoted target still hits; untouched B misses (recomputed, so
+  // still exact — just not a hit).
+  hits_before = cache->num_hits();
+  const std::vector<Window>* target_got =
+      cache->LeasedGet(&lease, target, target);
+  ASSERT_NE(target_got, nullptr);
+  EXPECT_EQ(cache->num_hits(), hits_before + 1);
+  EXPECT_EQ(*target_got, ComputeProcessedWindows(target, target, kDelta));
+
+  hits_before = cache->num_hits();
+  const std::vector<Window>* b_got =
+      cache->LeasedGet(&lease, filler_b, filler_b);
+  ASSERT_NE(b_got, nullptr);
+  EXPECT_EQ(cache->num_hits(), hits_before);  // miss: aged out
+  EXPECT_EQ(*b_got, ComputeProcessedWindows(filler_b, filler_b, kDelta));
+}
+
+TEST(SharedWindowCacheTest, SweepGenerationsKeepsLiveDropsDead) {
+  // SweepGenerations rebuilds the generation pair keeping only entries
+  // whose identities satisfy the predicate — the serving layer's
+  // post-seal invalidation. Kept entries still hit through a fresh
+  // lease; dropped ones are recomputed exactly; old leases keep their
+  // pointers.
+  const TimeSeriesGraph graph = RandomGraph(97, 5, 70, 40);
+  ASSERT_GE(graph.num_pairs(), 2);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 8;
+
+  std::unique_ptr<SharedWindowCache> cache =
+      SharedWindowCache::MakeGenerational(kDelta, /*max_entries=*/256);
+  SharedWindowCache::TierLease old_lease = cache->AcquireTierLease();
+  std::vector<const std::vector<Window>*> served;
+  for (const auto& [first, last] : pairs) {
+    served.push_back(cache->LeasedGet(&old_lease, *first, *last));
+    ASSERT_NE(served.back(), nullptr);
+  }
+  EXPECT_EQ(cache->size(), pairs.size());
+
+  // Keep only entries keyed entirely on pair 0's timestamp storage —
+  // exactly the (0, 0) entry.
+  const StorageIdentity live_id = graph.pair(0).series.timestamp_identity();
+  cache->SweepGenerations([&](const StorageIdentity& id) {
+    return id == live_id;
+  });
+  EXPECT_EQ(cache->size(), 1u);
+
+  // A fresh lease sees the swept pair: the surviving entry hits, a
+  // dropped one misses and is recomputed bit-exactly.
+  SharedWindowCache::TierLease fresh = cache->AcquireTierLease();
+  const EdgeSeries& live_series = graph.pair(0).series;
+  int64_t hits_before = cache->num_hits();
+  const std::vector<Window>* kept =
+      cache->LeasedGet(&fresh, live_series, live_series);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(cache->num_hits(), hits_before + 1);
+  EXPECT_EQ(*kept, ComputeProcessedWindows(live_series, live_series, kDelta));
+
+  const EdgeSeries& dead_series = graph.pair(1).series;
+  hits_before = cache->num_hits();
+  const std::vector<Window>* dropped =
+      cache->LeasedGet(&fresh, dead_series, dead_series);
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(cache->num_hits(), hits_before);
+  EXPECT_EQ(*dropped,
+            ComputeProcessedWindows(dead_series, dead_series, kDelta));
+
+  // The old lease's pointers are untouched by the sweep.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(*served[i], ComputeProcessedWindows(*pairs[i].first,
+                                                  *pairs[i].second, kDelta));
+  }
+}
+
+TEST(SharedWindowCacheTest, ConcurrentLeasedReadersUnderTinyCap) {
+  // Several threads, each with its own lease, hammer a key population
+  // far beyond the per-generation cap so rotations race with lookups,
+  // promotions, and inserts. Every answer must be non-null (a
+  // generational cache never declines) and exact.
+  const TimeSeriesGraph graph = RandomGraph(101, 6, 90, 50);
+  const std::vector<std::pair<const EdgeSeries*, const EdgeSeries*>> pairs =
+      AllSeriesPairs(graph);
+  constexpr Timestamp kDelta = 12;
+  constexpr size_t kCap = 3;
+
+  std::vector<std::vector<Window>> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [first, last] : pairs) {
+    expected.push_back(ComputeProcessedWindows(*first, *last, kDelta));
+  }
+
+  for (int num_threads : {2, 4}) {
+    std::unique_ptr<SharedWindowCache> cache =
+        SharedWindowCache::MakeGenerational(kDelta, kCap);
+    std::atomic<int64_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        SharedWindowCache::TierLease lease = cache->AcquireTierLease();
+        const size_t n = pairs.size();
+        for (int round = 0; round < 3; ++round) {
+          for (size_t i = 0; i < n; ++i) {
+            const size_t at = (i * 31 + static_cast<size_t>(t) * 7) % n;
+            const std::vector<Window>* got =
+                cache->LeasedGet(&lease, *pairs[at].first, *pairs[at].second);
+            if (got == nullptr || *got != expected[at]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(mismatches.load(), 0) << "threads=" << num_threads;
+    EXPECT_GT(cache->num_rotations(), 0) << "threads=" << num_threads;
+  }
+}
+
 }  // namespace
 }  // namespace flowmotif
